@@ -1,0 +1,50 @@
+"""Ablation: sensitivity of the cost model to the block size.
+
+The paper fixes 4 KiB blocks with 128 32-byte elements.  Larger blocks
+pack more elements, so fewer block accesses move the same data -- but a
+refresh touches a *larger fraction* of blocks (any block with >= 1
+displaced element is written).  This ablation sweeps elements-per-block
+and shows the refresh cost is non-monotone in block size only through the
+per-block time; with a fixed per-block time the block count falls.
+"""
+
+import numpy as np
+
+from repro.experiments.engine import (
+    expected_candidate_log_blocks_read,
+    expected_sample_blocks_written,
+)
+from repro.storage.cost_model import DiskParameters
+
+
+def _sweep():
+    m, c = 100_000, 20_000
+    rows = []
+    for block_size in (1024, 4096, 16384, 65536):
+        disk = DiskParameters(block_size=block_size, element_size=32)
+        writes = float(
+            expected_sample_blocks_written(m, np.array([c]), disk)[0]
+        )
+        reads = float(
+            expected_candidate_log_blocks_read(m, np.array([c]), disk)[0]
+        )
+        fraction = writes / disk.blocks_for_elements(m)
+        rows.append((block_size, disk.elements_per_block, reads, writes, fraction))
+    return rows
+
+
+def test_block_size_ablation(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=3, iterations=1)
+    print()
+    print("block size | elems/block | E[log blocks read] | E[sample blocks written] | touched fraction")
+    for block_size, epb, reads, writes, fraction in rows:
+        print(
+            f"  {block_size:>8} | {epb:>11} | {reads:>18.1f} | {writes:>24.1f} "
+            f"| {fraction:>8.3f}"
+        )
+    # Bigger blocks -> fewer block accesses ...
+    writes = [row[3] for row in rows]
+    assert writes == sorted(writes, reverse=True)
+    # ... but a larger fraction of the sample file gets touched.
+    fractions = [row[4] for row in rows]
+    assert fractions == sorted(fractions)

@@ -1,0 +1,49 @@
+"""Ablation: Vitter Algorithm X vs. Algorithm Z skip generation.
+
+Candidate logging's online CPU cost is dominated by skip generation.
+Algorithm X is exact but O(skip) per draw; Algorithm Z is O(1) amortised
+once the dataset dwarfs the sample.  This ablation times both at a
+dataset-to-sample ratio where skips are long (t = 200 * n).
+"""
+
+from repro.rng.random_source import RandomSource
+
+
+def _draw_skips(method: str, n=50, t=10_000, draws=3000):
+    rng = RandomSource(seed=9)
+    total = 0
+    for _ in range(draws):
+        total += rng.reservoir_skip(n, t, method=method)
+    return total
+
+
+def test_skip_sampler_ablation(benchmark):
+    import time
+
+    benchmark.pedantic(
+        _draw_skips, args=("z",), rounds=3, iterations=1
+    )
+    start = time.perf_counter()
+    _draw_skips("z")
+    z_time = time.perf_counter() - start
+    start = time.perf_counter()
+    _draw_skips("x")
+    x_time = time.perf_counter() - start
+    print()
+    print(f"3000 skips at t=200n: Algorithm Z {z_time * 1000:.1f} ms, "
+          f"Algorithm X {x_time * 1000:.1f} ms "
+          f"(X/Z ratio {x_time / z_time:.1f}x)")
+    # X walks every skipped element; Z must win clearly in this regime.
+    assert z_time < x_time
+
+
+def test_both_algorithms_same_mean(benchmark):
+    z_total = benchmark.pedantic(
+        _draw_skips, args=("z",), kwargs={"draws": 4000}, rounds=1, iterations=1
+    )
+    x_total = _draw_skips("x", draws=4000)
+    z_mean = z_total / 4000
+    x_mean = x_total / 4000
+    print()
+    print(f"mean skip: Z {z_mean:.1f}, X {x_mean:.1f}")
+    assert abs(z_mean - x_mean) / x_mean < 0.1

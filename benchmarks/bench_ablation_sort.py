@@ -1,0 +1,35 @@
+"""Ablation: Array Refresh with vs. without the optional sort (Sec. 4.1).
+
+The paper sorts array A so the candidate log is read sequentially; without
+the sort, log reads happen in slot order, i.e. randomly.  This ablation
+quantifies what the sort buys in I/O cost: at the paper's access times one
+random read costs ~90 sequential block accesses, so the unsorted variant
+should lose by a wide margin once the log spans multiple blocks.
+"""
+
+from repro.core.refresh.array import ArrayRefresh
+from tests.core.conftest import RefreshHarness
+
+
+def _refresh_cost(sort: bool, sample_size=128 * 16, candidates=2000, seed=5):
+    harness = RefreshHarness(sample_size=sample_size, candidates=candidates, seed=seed)
+    harness.run(ArrayRefresh(sort=sort))
+    return harness.refresh_stats
+
+
+def test_sort_ablation(benchmark):
+    sorted_stats = benchmark.pedantic(
+        _refresh_cost, args=(True,), rounds=3, iterations=1
+    )
+    unsorted_stats = _refresh_cost(False)
+    sorted_cost = sorted_stats.cost_seconds()
+    unsorted_cost = unsorted_stats.cost_seconds()
+    print()
+    print("Array Refresh sort ablation (M=2048, |C|=2000):")
+    print(f"  sorted   {sorted_stats}  -> {sorted_cost * 1000:.2f} ms")
+    print(f"  unsorted {unsorted_stats}  -> {unsorted_cost * 1000:.2f} ms")
+    # The sorted variant does zero random I/O; unsorted pays one random
+    # read per final candidate.
+    assert sorted_stats.random_reads == 0
+    assert unsorted_stats.random_reads > 500
+    assert unsorted_cost > 20 * sorted_cost

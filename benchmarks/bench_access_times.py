@@ -1,0 +1,34 @@
+"""Sec. 6.1 -- per-block access-time calibration table.
+
+Regenerates the paper's measurement table (sequential read/write, random
+read, random write per 4 KiB block) on this machine's storage, next to the
+paper's published IDE-disk numbers.  Absolute values differ by hardware
+generation; the invariant the cost model rests on is that block I/O times
+are positive and sequential access is not slower than random access.
+"""
+
+import os
+import tempfile
+
+from repro.storage.real_disk import calibrate_disk
+
+
+def _calibrate():
+    with tempfile.TemporaryDirectory() as tmp:
+        return calibrate_disk(
+            os.path.join(tmp, "calibration.bin"), file_blocks=1024, probes=256
+        )
+
+
+def test_access_time_calibration(benchmark):
+    result = benchmark.pedantic(_calibrate, rounds=3, iterations=1)
+    print()
+    print("Sec. 6.1 access times (ms/block):  paper        this machine")
+    print(f"  sequential read                  0.094        {result.seq_read_ms:.4f}")
+    print(f"  sequential write                 0.094        {result.seq_write_ms:.4f}")
+    print(f"  random read                      8.450        {result.random_read_ms:.4f}")
+    print(f"  random write                     5.500        {result.random_write_ms:.4f}")
+    assert result.seq_read_ms > 0
+    assert result.seq_write_ms > 0
+    assert result.random_read_ms > 0
+    assert result.random_write_ms > 0

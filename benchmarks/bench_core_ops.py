@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the core operations.
+
+Throughput of the primitives every maintenance strategy is built from:
+reservoir acceptance, geometric skips, the three refresh precomputations,
+and a full refresh against the simulated disk.
+"""
+
+from repro.core.logs import CandidateLogSource
+from repro.core.refresh.array import ArrayRefresh
+from repro.core.refresh.nomem import NomemRefresh, span_of_gaps
+from repro.core.refresh.stack import StackRefresh, select_final_indexes
+from repro.core.reservoir import ReservoirSampler
+from repro.rng.random_source import RandomSource
+from tests.core.conftest import RefreshHarness
+
+
+def test_reservoir_offer_throughput(benchmark):
+    def run():
+        rng = RandomSource(seed=1)
+        sampler = ReservoirSampler(1000, rng, initial_size=100_000)
+        accepted = 0
+        for v in range(20_000):
+            if sampler.offer(v) is not None:
+                accepted += 1
+        return accepted
+
+    accepted = benchmark(run)
+    assert 0 < accepted < 2000
+
+
+def test_candidate_test_throughput(benchmark):
+    def run():
+        rng = RandomSource(seed=2)
+        sampler = ReservoirSampler(1000, rng, initial_size=100_000)
+        return sum(sampler.test(v) for v in range(20_000))
+
+    accepted = benchmark(run)
+    assert 0 < accepted < 2000
+
+
+def test_geometric_draw_throughput(benchmark):
+    def run():
+        rng = RandomSource(seed=3)
+        return sum(rng.geometric(0.25) for _ in range(10_000))
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_stack_precompute(benchmark):
+    rng = RandomSource(seed=4)
+    selected = benchmark(lambda: select_final_indexes(rng, 10_000, 15_000))
+    assert len(selected) <= 10_000
+
+
+def test_array_precompute(benchmark):
+    rng = RandomSource(seed=5)
+
+    def run():
+        array = ArrayRefresh.assign_slots(rng, 10_000, 15_000)
+        ArrayRefresh._sort_non_empty(array)
+        return array
+
+    array = benchmark(run)
+    assert len(array) == 10_000
+
+
+def test_nomem_precompute(benchmark):
+    rng = RandomSource(seed=6)
+    span = benchmark(lambda: span_of_gaps(rng, 10_000))
+    assert span >= 9_999
+
+
+def test_full_refresh_stack(benchmark):
+    def run():
+        harness = RefreshHarness(sample_size=5_000, candidates=4_000, seed=7)
+        return harness.run(StackRefresh()).displaced
+
+    displaced = benchmark(run)
+    assert displaced > 0
+
+
+def test_full_refresh_nomem(benchmark):
+    def run():
+        harness = RefreshHarness(sample_size=5_000, candidates=4_000, seed=8)
+        return harness.run(NomemRefresh()).displaced
+
+    displaced = benchmark(run)
+    assert displaced > 0

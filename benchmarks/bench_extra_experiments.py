@@ -1,0 +1,36 @@
+"""Extension experiments: accuracy stability and recency bias.
+
+Beyond the paper's figures (see DESIGN.md "Ablations"): estimator error
+must not drift as refreshes accumulate, and the footnote-3 biased
+acceptance must produce its theoretical recency profile.
+"""
+
+from repro.experiments.extra import extra_accuracy, extra_bias
+
+
+def test_extra_accuracy_stability(benchmark, scale_name, show):
+    result = benchmark.pedantic(
+        extra_accuracy, kwargs={"scale": scale_name, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    show(result)
+    measured = result.series["measured"]
+    theory = result.series["theory (uniform sampling)"][0]
+    overall = sum(measured) / len(measured)
+    assert theory / 2.5 < overall < theory * 2.5
+    quarter = max(1, len(measured) // 4)
+    early = sum(measured[:quarter]) / quarter
+    late = sum(measured[-quarter:]) / quarter
+    assert late < 3 * early  # no drift
+
+
+def test_extra_bias_profile(benchmark, scale_name, show):
+    result = benchmark.pedantic(
+        extra_bias, kwargs={"scale": scale_name, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    show(result)
+    for measured, theory in zip(
+        result.series["measured"], result.series["theory M/p"]
+    ):
+        assert measured == theory or abs(measured - theory) / theory < 0.25

@@ -1,0 +1,20 @@
+"""Fig. 6 -- online cost over time (no intermediate refresh).
+
+Paper's reading: immediate refresh is orders of magnitude above both
+logging schemes; candidate logging is the cheapest and flattens as the
+dataset grows.
+"""
+
+from repro.experiments.figures import fig6
+
+
+def test_fig6_online_cost_over_time(benchmark, scale_name, show):
+    result = benchmark(fig6, scale=scale_name, seed=0)
+    show(result)
+    final = {name: series[-1] for name, series in result.series.items()}
+    # Shape: Cand. < Full < Immediate, by orders of magnitude at the top.
+    assert final["Cand."] < final["Full"] < final["Immediate"]
+    assert final["Immediate"] > 100 * final["Cand."]
+    # All series cumulative.
+    for series in result.series.values():
+        assert series == sorted(series)

@@ -1,0 +1,17 @@
+"""Fig. 7 -- total cost over time (refresh every base period).
+
+Paper's reading: deferred refresh is significantly faster than immediate;
+candidate maintenance stays below full because its log is cheaper to write.
+"""
+
+from repro.experiments.figures import fig7
+
+
+def test_fig7_total_cost_over_time(benchmark, scale_name, show):
+    result = benchmark(fig7, scale=scale_name, seed=0)
+    show(result)
+    final = {name: series[-1] for name, series in result.series.items()}
+    assert final["Cand."] <= final["Full"] < final["Immediate"]
+    assert final["Immediate"] > 20 * final["Full"]
+    for series in result.series.values():
+        assert series == sorted(series)

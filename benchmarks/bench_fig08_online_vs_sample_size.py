@@ -1,0 +1,21 @@
+"""Fig. 8 -- online cost vs. sample size (no refresh).
+
+Paper's reading: full-log cost is independent of the sample size;
+immediate and candidate costs grow with it; the full log upper-bounds the
+candidate log everywhere.
+"""
+
+from repro.experiments.figures import fig8
+
+
+def test_fig8_online_cost_vs_sample_size(benchmark, scale_name, show):
+    result = benchmark.pedantic(
+        fig8, kwargs={"scale": scale_name, "seed": 0}, rounds=3, iterations=1
+    )
+    show(result)
+    full = result.series["Full"]
+    assert max(full) < 1.2 * min(full)  # flat in M
+    assert result.series["Immediate"][-1] > 2 * result.series["Immediate"][0]
+    assert result.series["Cand."][-1] > 2 * result.series["Cand."][0]
+    for cand, flog in zip(result.series["Cand."], full):
+        assert cand <= flog * 1.05  # full log is the upper bound

@@ -1,0 +1,23 @@
+"""Fig. 9 -- total cost vs. sample size (refresh every base period).
+
+Paper's reading: total cost grows with the sample size ("the sample size
+has only a linear effect on the refresh costs"); deferred refresh keeps
+beating immediate at every size.
+"""
+
+from repro.experiments.figures import fig9
+
+
+def test_fig9_total_cost_vs_sample_size(benchmark, scale_name, show):
+    result = benchmark.pedantic(
+        fig9, kwargs={"scale": scale_name, "seed": 0}, rounds=3, iterations=1
+    )
+    show(result)
+    for name in ("Full", "Cand."):
+        for deferred, immediate in zip(
+            result.series[name], result.series["Immediate"]
+        ):
+            assert deferred < immediate
+    # Roughly linear growth: the 10x sample costs within ~[2x, 30x] of 1x.
+    cand = result.series["Cand."]
+    assert 2 * cand[0] < cand[-1] < 30 * cand[0]

@@ -1,0 +1,22 @@
+"""Fig. 10 -- online cost vs. refresh period.
+
+Paper's reading: immediate cost ignores the period; logging costs drop as
+refreshes (and their log-rewind seeks) become rarer; candidate logging is
+always at or below full logging.
+"""
+
+from repro.experiments.figures import fig10
+
+
+def test_fig10_online_cost_vs_refresh_period(benchmark, scale_name, show):
+    result = benchmark.pedantic(
+        fig10, kwargs={"scale": scale_name, "seed": 0}, rounds=3, iterations=1
+    )
+    show(result)
+    immediate = result.series["Immediate"]
+    assert max(immediate) < 1.05 * min(immediate)  # flat
+    for name in ("Full", "Cand."):
+        series = result.series[name]
+        assert series[-1] < series[0]  # longer period, cheaper online
+    for cand, full in zip(result.series["Cand."], result.series["Full"]):
+        assert cand <= full * 1.05

@@ -1,0 +1,21 @@
+"""Fig. 11 -- total cost vs. refresh period.
+
+Paper's reading: deferred refresh beats immediate unless refreshes are
+extremely frequent, and the candidate-vs-full gap widens with the period.
+"""
+
+from repro.experiments.figures import fig11
+
+
+def test_fig11_total_cost_vs_refresh_period(benchmark, scale_name, show):
+    result = benchmark.pedantic(
+        fig11, kwargs={"scale": scale_name, "seed": 0}, rounds=3, iterations=1
+    )
+    show(result)
+    ratios = [
+        full / cand
+        for full, cand in zip(result.series["Full"], result.series["Cand."])
+    ]
+    mid = len(ratios) // 2
+    assert ratios[-1] > ratios[mid]  # gap widens with the period
+    assert result.series["Cand."][-1] < result.series["Immediate"][-1] / 20

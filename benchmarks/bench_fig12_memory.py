@@ -1,0 +1,25 @@
+"""Fig. 12 -- memory consumption of the refresh implementations.
+
+Paper's reading: Array is flat at 4M bytes; Stack grows with the final
+candidates; Nomem holds only PRNG state; the GF's buffer must store the
+deferred candidates as full elements.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig12
+from repro.experiments.scaling import SCALES
+
+
+def test_fig12_memory_consumption(benchmark, scale_name, show):
+    result = benchmark(fig12, scale=scale_name, seed=0)
+    show(result)
+    m = SCALES[scale_name].sample_size
+    assert all(
+        v == pytest.approx(4 * m / 1e6) for v in result.series["Array"]
+    )
+    stack = result.series["Stack"]
+    assert stack == sorted(stack)
+    assert all(v < 0.01 for v in result.series["Nomem"])
+    for gf, stack_v in zip(result.series["GF"], stack):
+        assert gf == pytest.approx(stack_v * 8)  # 32-byte elements vs 4-byte indexes

@@ -1,0 +1,35 @@
+"""Fig. 13 -- CPU cost of the refresh precomputation phases.
+
+Paper's reading (Java timings; we time the Python implementations, so
+compare orderings): Stack is the fastest method; Array beats Nomem for
+small candidate logs but loses for large ones because of its sort and its
+O(|C|) assignment loop; Nomem is ~flat in |C| (it always draws 2(M-1)
+geometric variates).
+"""
+
+from repro.experiments.figures import fig13
+from repro.experiments.scaling import SCALES, Scale
+
+# CPU timing needs a sample big enough that the phases take milliseconds;
+# lift the smoke preset to a dedicated size.
+_CPU_SCALES = {
+    "smoke": Scale("fig13-smoke", 20_000, 20_000, 200_000, 20_000),
+    "default": SCALES["default"],
+    "paper": SCALES["paper"],
+}
+
+
+def test_fig13_cpu_cost(benchmark, scale_name, show):
+    scale = _CPU_SCALES[scale_name]
+    result = benchmark.pedantic(
+        fig13, kwargs={"scale": scale, "seed": 0}, rounds=1, iterations=1
+    )
+    show(result)
+    stack = result.series["Stack"]
+    array = result.series["Array"]
+    nomem = result.series["Nomem"]
+    for s, n in zip(stack, nomem):
+        assert s < n  # Stack never loses to Nomem
+    assert stack[-1] < array[-1]  # nor to Array on large logs
+    # Fig. 13's crossover: Array degrades relative to Nomem as |C| grows.
+    assert array[-1] / nomem[-1] > 2 * (array[0] / nomem[0])

@@ -1,0 +1,39 @@
+"""Fig. 14 -- geometric file buffer fraction vs. total cost.
+
+Paper's reading (a paper-scale property; the bench runs the sweep at the
+configured scale and additionally pins the crossovers at paper scale):
+below ~3 % buffer both full and candidate refresh beat the GF; around
+3-4 % the GF passes full but not candidate; above ~4-5 % the GF wins.
+"""
+
+from repro.experiments.figures import fig14
+
+
+def test_fig14_buffer_sweep(benchmark, scale_name, show):
+    result = benchmark.pedantic(
+        fig14, kwargs={"scale": scale_name, "seed": 0}, rounds=3, iterations=1
+    )
+    show(result)
+    gf = result.series["GF"]
+    assert gf == sorted(gf, reverse=True)  # GF strictly improves with memory
+    assert gf[0] > result.series["Cand."][0]  # tiny buffer: GF loses
+
+
+def test_fig14_paper_scale_crossovers(benchmark, show):
+    result = benchmark.pedantic(
+        fig14, kwargs={"scale": "paper", "seed": 0}, rounds=1, iterations=1
+    )
+    show(result)
+    by_fraction = {
+        x: (gf, cand, full)
+        for x, gf, cand, full in zip(
+            result.x, result.series["GF"], result.series["Cand."],
+            result.series["Full"],
+        )
+    }
+    gf, cand, full = by_fraction[0.02]
+    assert gf > cand and gf > full          # < 3%: both beat the GF
+    gf, cand, full = by_fraction[0.03]
+    assert cand < gf < full                 # ~3-4%: GF between the two
+    gf, cand, full = by_fraction[0.05]
+    assert gf < cand and gf < full          # > 4%: GF wins

@@ -1,0 +1,52 @@
+"""Benchmark configuration.
+
+Each ``bench_figNN`` module regenerates one figure of the paper, times the
+regeneration with pytest-benchmark, prints the series table (the repo's
+equivalent of the paper's plot), and asserts the figure's shape claims.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke`` (default; seconds),
+``default`` (laptop, ~a minute) or ``paper`` (the paper's 1M/100M setting).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.report import format_series_table
+from repro.experiments.scaling import SCALES
+
+
+def pytest_report_header(config):
+    return f"repro bench scale: {_scale_name()}"
+
+
+def _scale_name() -> str:
+    name = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+    if name not in SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE={name!r} unknown; choose from {sorted(SCALES)}"
+        )
+    return name
+
+
+@pytest.fixture(scope="session")
+def scale_name() -> str:
+    return _scale_name()
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALES[_scale_name()]
+
+
+@pytest.fixture
+def show():
+    """Print a regenerated figure table beneath the benchmark output."""
+
+    def _show(result):
+        print()
+        print(format_series_table(result))
+
+    return _show

@@ -1,0 +1,101 @@
+"""repro: deferred maintenance of disk-based random samples.
+
+A faithful, self-contained reproduction of Gemulla & Lehner, *Deferred
+Maintenance of Disk-Based Random Samples* (EDBT 2006): candidate logging,
+the Array/Stack/Nomem deferred refresh algorithms, the full-log adapter,
+an immediate-refresh and a Geometric File baseline, plus the simulated
+disk substrate and the experiment harness that regenerates every figure
+of the paper's evaluation.
+
+Quickstart
+----------
+
+>>> from repro import (
+...     CostModel, SimulatedBlockDevice, IntRecordCodec, SampleFile, LogFile,
+...     RandomSource, build_reservoir, SampleMaintainer, StackRefresh,
+...     PeriodicPolicy,
+... )
+>>> rng = RandomSource(seed=1)
+>>> cost = CostModel()
+>>> codec = IntRecordCodec()
+>>> sample = SampleFile(SimulatedBlockDevice(cost, "sample"), codec, size=100)
+>>> initial, seen = build_reservoir(range(1000), 100, rng)
+>>> sample.initialize(initial)
+>>> maintainer = SampleMaintainer(
+...     sample, rng, strategy="candidate", initial_dataset_size=seen,
+...     log=LogFile(SimulatedBlockDevice(cost, "log"), codec),
+...     algorithm=StackRefresh(), policy=PeriodicPolicy(500), cost_model=cost,
+... )
+>>> maintainer.insert_many(range(1000, 3000))
+>>> maintainer.stats.refreshes
+4
+"""
+
+from repro.core import (
+    ArrayRefresh,
+    CandidateLogger,
+    CandidateLogSource,
+    FullLogger,
+    FullLogSource,
+    MaintenanceStats,
+    ManualPolicy,
+    NaiveCandidateRefresh,
+    NaiveFullRefresh,
+    NomemRefresh,
+    PeriodicPolicy,
+    RefreshResult,
+    ReservoirSampler,
+    SampleMaintainer,
+    StackRefresh,
+    ThresholdPolicy,
+    build_reservoir,
+)
+from repro.rng import MT19937, RandomSource
+from repro.storage import (
+    AccessStats,
+    CostModel,
+    DiskParameters,
+    IntRecordCodec,
+    LogFile,
+    MemoryReport,
+    PAPER_DISK,
+    SampleFile,
+    SimulatedBlockDevice,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # rng
+    "MT19937",
+    "RandomSource",
+    # storage
+    "AccessStats",
+    "CostModel",
+    "DiskParameters",
+    "PAPER_DISK",
+    "SimulatedBlockDevice",
+    "SampleFile",
+    "LogFile",
+    "IntRecordCodec",
+    "MemoryReport",
+    # core
+    "ReservoirSampler",
+    "build_reservoir",
+    "CandidateLogger",
+    "FullLogger",
+    "CandidateLogSource",
+    "FullLogSource",
+    "SampleMaintainer",
+    "MaintenanceStats",
+    "RefreshResult",
+    "ArrayRefresh",
+    "StackRefresh",
+    "NomemRefresh",
+    "NaiveCandidateRefresh",
+    "NaiveFullRefresh",
+    "PeriodicPolicy",
+    "ThresholdPolicy",
+    "ManualPolicy",
+]

@@ -1,0 +1,191 @@
+"""Error bounds for sample-based estimates.
+
+The paper's case for *uniform* samples is that they "derive precise
+results and error bounds" (Sec. 1) for whatever estimate is asked later.
+This module supplies the bounds: normal-approximation confidence
+intervals with the finite-population correction (the sample is drawn
+without replacement from a dataset of known size), plus a
+distribution-free Hoeffding bound for bounded-value estimates.
+
+All intervals are two-sided at the requested confidence level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "sum_confidence_interval",
+    "fraction_confidence_interval",
+    "hoeffding_mean_interval",
+    "required_sample_size",
+]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided interval with its point estimate."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.estimate <= self.high:
+            raise ValueError(
+                f"estimate {self.estimate} outside [{self.low}, {self.high}]"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2.0
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def _z_score(confidence: float) -> float:
+    """Two-sided standard-normal quantile via the inverse error function.
+
+    Newton refinement over ``erf`` keeps us scipy-free with ~1e-10
+    accuracy for any practical confidence level.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    target = confidence  # P(|Z| <= z) = erf(z / sqrt(2))
+    z = 1.0
+    for _ in range(60):
+        error = math.erf(z / math.sqrt(2.0)) - target
+        derivative = math.sqrt(2.0 / math.pi) * math.exp(-z * z / 2.0)
+        step = error / derivative
+        z -= step
+        if abs(step) < 1e-14:
+            break
+    return z
+
+
+def _fpc(sample_size: int, population_size: int | None) -> float:
+    """Finite-population correction factor for without-replacement samples."""
+    if population_size is None:
+        return 1.0
+    if population_size < sample_size:
+        raise ValueError("population cannot be smaller than the sample")
+    if population_size <= 1:
+        return 0.0
+    return math.sqrt((population_size - sample_size) / (population_size - 1))
+
+
+def mean_confidence_interval(
+    sample: Sequence[float],
+    confidence: float = 0.95,
+    population_size: int | None = None,
+) -> ConfidenceInterval:
+    """Normal-approximation CI for the population mean."""
+    n = len(sample)
+    if n < 2:
+        raise ValueError("need at least two observations")
+    mean = sum(sample) / n
+    variance = sum((v - mean) ** 2 for v in sample) / (n - 1)
+    stderr = math.sqrt(variance / n) * _fpc(n, population_size)
+    margin = _z_score(confidence) * stderr
+    return ConfidenceInterval(mean, mean - margin, mean + margin, confidence)
+
+
+def sum_confidence_interval(
+    sample: Sequence[float],
+    population_size: int,
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """CI for the population total: the mean interval scaled by ``N``."""
+    base = mean_confidence_interval(sample, confidence, population_size)
+    return ConfidenceInterval(
+        base.estimate * population_size,
+        base.low * population_size,
+        base.high * population_size,
+        confidence,
+    )
+
+
+def fraction_confidence_interval(
+    hits: int,
+    sample_size: int,
+    confidence: float = 0.95,
+    population_size: int | None = None,
+) -> ConfidenceInterval:
+    """Wilson score interval for a population proportion.
+
+    Better behaved than the Wald interval near 0/1 -- relevant because
+    selective predicates on samples routinely produce tiny hit counts.
+    """
+    if sample_size <= 0:
+        raise ValueError("sample_size must be positive")
+    if not 0 <= hits <= sample_size:
+        raise ValueError(f"hits {hits} outside [0, {sample_size}]")
+    z = _z_score(confidence)
+    z2 = z * z
+    p = hits / sample_size
+    fpc = _fpc(sample_size, population_size)
+    denom = 1.0 + z2 / sample_size
+    centre = (p + z2 / (2 * sample_size)) / denom
+    margin = (
+        z
+        * math.sqrt(p * (1 - p) / sample_size + z2 / (4 * sample_size**2))
+        / denom
+        * fpc
+    )
+    # The Wilson centre is shrunk toward 1/2, so at the 0/1 boundaries it
+    # can exclude the raw proportion; widen to include the point estimate
+    # (the conventional hits=0 -> low=0 and hits=n -> high=1 behaviour).
+    low = max(0.0, min(p, centre - margin))
+    high = min(1.0, max(p, centre + margin))
+    return ConfidenceInterval(p, low, high, confidence)
+
+
+def hoeffding_mean_interval(
+    sample: Sequence[float],
+    value_range: tuple[float, float],
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Distribution-free CI for the mean of values in ``[low, high]``.
+
+    ``P(|mean_est - mean| >= t) <= 2 exp(-2 n t^2 / (high-low)^2)`` -- no
+    normality assumption, at the price of width.
+    """
+    n = len(sample)
+    if n < 1:
+        raise ValueError("need at least one observation")
+    low, high = value_range
+    if high <= low:
+        raise ValueError("value_range must be non-degenerate")
+    for v in sample:
+        if not low <= v <= high:
+            raise ValueError(f"value {v} outside declared range [{low}, {high}]")
+    mean = sum(sample) / n
+    alpha = 1.0 - confidence
+    margin = (high - low) * math.sqrt(math.log(2.0 / alpha) / (2.0 * n))
+    return ConfidenceInterval(mean, mean - margin, mean + margin, confidence)
+
+
+def required_sample_size(
+    relative_error: float,
+    confidence: float = 0.95,
+    coefficient_of_variation: float = 1.0,
+) -> int:
+    """Sample size needed for a relative error on the mean.
+
+    ``n >= (z * cv / e)^2`` -- the planning formula behind the paper's
+    "many estimators require the sample to be sufficiently large".
+    """
+    if relative_error <= 0:
+        raise ValueError("relative_error must be positive")
+    if coefficient_of_variation <= 0:
+        raise ValueError("coefficient_of_variation must be positive")
+    z = _z_score(confidence)
+    return math.ceil((z * coefficient_of_variation / relative_error) ** 2)

@@ -1,0 +1,93 @@
+"""Estimators computed on uniform random samples.
+
+These are consumers of the maintained sample: the application-neutrality
+argument of Sec. 1 is that a *uniform* sample supports whatever estimate
+is asked for later.  Each estimator takes a plain sequence (the sample
+contents) plus whatever population knowledge it needs (usually just the
+dataset size ``N``, which the maintenance layer tracks anyway).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+__all__ = [
+    "estimate_mean",
+    "estimate_sum",
+    "estimate_fraction",
+    "estimate_quantile",
+    "estimate_count_distinct_gee",
+    "estimate_count_distinct_chao",
+]
+
+
+def estimate_mean(sample: Sequence[float]) -> float:
+    """Sample mean: unbiased for the population mean under uniformity."""
+    if not sample:
+        raise ValueError("cannot estimate from an empty sample")
+    return sum(sample) / len(sample)
+
+
+def estimate_sum(sample: Sequence[float], population_size: int) -> float:
+    """Horvitz-Thompson total: ``N * mean(sample)``."""
+    if population_size < len(sample):
+        raise ValueError("population cannot be smaller than the sample")
+    return population_size * estimate_mean(sample)
+
+
+def estimate_fraction(sample: Sequence, predicate) -> float:
+    """Fraction of the population satisfying ``predicate``."""
+    if not sample:
+        raise ValueError("cannot estimate from an empty sample")
+    return sum(1 for item in sample if predicate(item)) / len(sample)
+
+
+def estimate_quantile(sample: Sequence[float], q: float) -> float:
+    """Order-statistic quantile estimate (nearest-rank)."""
+    if not sample:
+        raise ValueError("cannot estimate from an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(sample)
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def estimate_count_distinct_gee(sample: Sequence, population_size: int) -> float:
+    """Guaranteed-Error Estimator (Charikar et al.) for distinct values.
+
+    ``GEE = sqrt(N/n) * f1 + sum_{j>=2} f_j`` where ``f_j`` is the number
+    of values appearing exactly ``j`` times in the sample.  The classic
+    example of an estimator that needs a *large* sample: with tiny samples
+    nearly everything is a singleton and the estimate collapses to the
+    ``sqrt(N/n)`` blow-up of ``f1``.
+    """
+    n = len(sample)
+    if n == 0:
+        raise ValueError("cannot estimate from an empty sample")
+    if population_size < n:
+        raise ValueError("population cannot be smaller than the sample")
+    frequencies = Counter(Counter(sample).values())
+    f1 = frequencies.get(1, 0)
+    higher = sum(count for j, count in frequencies.items() if j >= 2)
+    return math.sqrt(population_size / n) * f1 + higher
+
+
+def estimate_count_distinct_chao(sample: Sequence) -> float:
+    """Chao's lower-bound estimator: ``d + f1^2 / (2 f2)``.
+
+    Population-size-free; degrades to the observed distinct count when no
+    value repeats exactly twice.
+    """
+    if not sample:
+        raise ValueError("cannot estimate from an empty sample")
+    value_counts = Counter(sample)
+    frequencies = Counter(value_counts.values())
+    distinct = len(value_counts)
+    f1 = frequencies.get(1, 0)
+    f2 = frequencies.get(2, 0)
+    if f2 == 0:
+        return float(distinct)
+    return distinct + (f1 * f1) / (2.0 * f2)

@@ -1,0 +1,184 @@
+"""Approximate query processing over a maintained sample.
+
+The application-facing layer the paper's Sec. 1 motivates: once a uniform
+sample exists, arbitrary later queries get approximate answers with error
+bounds.  :class:`SampleQuery` provides a small fluent API over a sample's
+contents:
+
+>>> q = SampleQuery(sample_rows, dataset_size=1_000_000)
+>>> q.where(lambda r: r > 100).count()          # Estimate with a CI
+>>> q.avg(lambda r: r)                          # Estimate with a CI
+
+Statistics notes (all standard survey-sampling results):
+
+* ``count()`` of a predicate scales the Wilson interval of the hit
+  fraction by the dataset size;
+* ``sum()`` over a *filtered* query uses the unfiltered sample size for
+  scaling (each sampled row represents ``N/n`` rows whether or not it
+  matches) and derives its CI from the zero-padded contribution values --
+  the textbook domain-sum estimator;
+* ``avg()`` over a filtered query conditions on the matching subsample
+  (a ratio estimator; its CI uses the subsample size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Sequence, TypeVar
+
+from repro.analysis.bounds import (
+    ConfidenceInterval,
+    fraction_confidence_interval,
+    mean_confidence_interval,
+)
+
+__all__ = ["Estimate", "SampleQuery"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A point estimate with its confidence interval."""
+
+    value: float
+    interval: ConfidenceInterval
+
+    @property
+    def low(self) -> float:
+        return self.interval.low
+
+    @property
+    def high(self) -> float:
+        return self.interval.high
+
+    @property
+    def relative_half_width(self) -> float:
+        """CI half-width relative to the estimate (inf when value is 0)."""
+        if self.value == 0:
+            return float("inf") if self.interval.half_width > 0 else 0.0
+        return self.interval.half_width / abs(self.value)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.value:,.4g} "
+            f"[{self.interval.low:,.4g}, {self.interval.high:,.4g}] "
+            f"@{self.interval.confidence:.0%}"
+        )
+
+
+class SampleQuery(Generic[T]):
+    """Fluent approximate queries over a uniform sample.
+
+    ``rows`` is the sample's contents; ``dataset_size`` the size of the
+    population it represents (the maintenance layer tracks it).  The
+    object is immutable; ``where`` returns a narrowed copy that remembers
+    the *original* sample size for correct scaling.
+    """
+
+    def __init__(
+        self,
+        rows: Sequence[T],
+        dataset_size: int,
+        confidence: float = 0.95,
+        _base_sample_size: int | None = None,
+    ) -> None:
+        if dataset_size < len(rows) and _base_sample_size is None:
+            raise ValueError(
+                f"dataset_size {dataset_size} smaller than the sample "
+                f"({len(rows)} rows)"
+            )
+        if not 0.0 < confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+        self._rows = list(rows)
+        self._dataset_size = dataset_size
+        self._confidence = confidence
+        self._base = (
+            _base_sample_size if _base_sample_size is not None else len(rows)
+        )
+        if self._base == 0:
+            raise ValueError("cannot query an empty sample")
+
+    # -- composition --------------------------------------------------------
+
+    def where(self, predicate: Callable[[T], bool]) -> "SampleQuery[T]":
+        """Narrow to rows matching the predicate (population filter)."""
+        return SampleQuery(
+            [row for row in self._rows if predicate(row)],
+            self._dataset_size,
+            self._confidence,
+            _base_sample_size=self._base,
+        )
+
+    def with_confidence(self, confidence: float) -> "SampleQuery[T]":
+        return SampleQuery(
+            self._rows, self._dataset_size, confidence,
+            _base_sample_size=self._base,
+        )
+
+    @property
+    def matching_rows(self) -> int:
+        return len(self._rows)
+
+    @property
+    def sample_size(self) -> int:
+        """The unfiltered sample size used for scaling."""
+        return self._base
+
+    # -- aggregates ------------------------------------------------------------
+
+    def count(self) -> Estimate:
+        """Estimated number of population rows matching the filters."""
+        ci = fraction_confidence_interval(
+            len(self._rows), self._base, self._confidence,
+            population_size=self._dataset_size,
+        )
+        n = self._dataset_size
+        return Estimate(
+            value=ci.estimate * n,
+            interval=ConfidenceInterval(
+                ci.estimate * n, ci.low * n, ci.high * n, self._confidence
+            ),
+        )
+
+    def sum(self, value_of: Callable[[T], float]) -> Estimate:
+        """Estimated population sum of ``value_of`` over matching rows.
+
+        Uses the domain-sum estimator: non-matching sampled rows
+        contribute zero, so the scaling base is the unfiltered sample.
+        """
+        contributions = [value_of(row) for row in self._rows]
+        padded = contributions + [0.0] * (self._base - len(self._rows))
+        if len(padded) < 2:
+            raise ValueError("need an unfiltered sample of at least 2 rows")
+        mean_ci = mean_confidence_interval(
+            padded, self._confidence, population_size=self._dataset_size
+        )
+        n = self._dataset_size
+        return Estimate(
+            value=mean_ci.estimate * n,
+            interval=ConfidenceInterval(
+                mean_ci.estimate * n, mean_ci.low * n, mean_ci.high * n,
+                self._confidence,
+            ),
+        )
+
+    def avg(self, value_of: Callable[[T], float]) -> Estimate:
+        """Estimated mean of ``value_of`` over matching population rows."""
+        if len(self._rows) < 2:
+            raise ValueError(
+                "fewer than 2 matching sampled rows; the filter is too "
+                "selective for this sample"
+            )
+        ci = mean_confidence_interval(
+            [value_of(row) for row in self._rows], self._confidence
+        )
+        return Estimate(value=ci.estimate, interval=ci)
+
+    def fraction(self) -> Estimate:
+        """Estimated fraction of the population matching the filters."""
+        ci = fraction_confidence_interval(
+            len(self._rows), self._base, self._confidence,
+            population_size=self._dataset_size,
+        )
+        return Estimate(value=ci.estimate, interval=ci)

@@ -1,0 +1,120 @@
+"""Statistical tests that a maintained sample is uniform.
+
+The paper's correctness claim is distributional: every maintenance
+strategy must leave the sample a *uniform* random sample of the current
+dataset ("each sample of the same size is equally likely to be
+produced").  The test suite verifies this empirically: run maintenance
+many times with different seeds, count how often each dataset element
+lands in the final sample, and test the counts against the uniform
+inclusion probability ``M/N``.
+
+Implemented without scipy so the library stays dependency-light; the
+chi-square survival function uses the Wilson-Hilferty normal
+approximation, which is accurate to ~1e-3 for the degrees of freedom used
+in tests (hundreds) -- plenty for pass/fail thresholds at p = 1e-4.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Sequence
+
+__all__ = [
+    "inclusion_counts",
+    "chi_square_statistic",
+    "chi_square_uniform_pvalue",
+    "kolmogorov_smirnov_uniform",
+]
+
+
+def inclusion_counts(samples: Iterable[Sequence[int]], universe: int) -> list[int]:
+    """Per-element inclusion counts over many independent sample draws.
+
+    ``samples`` yields one final sample per trial; elements must be
+    integers in ``[0, universe)``.
+    """
+    counts = Counter()
+    for sample in samples:
+        for element in sample:
+            if not 0 <= element < universe:
+                raise ValueError(f"element {element} outside universe {universe}")
+        counts.update(sample)
+    return [counts.get(i, 0) for i in range(universe)]
+
+
+def chi_square_statistic(observed: Sequence[float], expected: Sequence[float]) -> float:
+    """Pearson chi-square statistic over matched observed/expected cells."""
+    if len(observed) != len(expected):
+        raise ValueError("observed and expected must have equal length")
+    if not observed:
+        raise ValueError("need at least one cell")
+    statistic = 0.0
+    for obs, exp in zip(observed, expected):
+        if exp <= 0:
+            raise ValueError("expected counts must be positive")
+        diff = obs - exp
+        statistic += diff * diff / exp
+    return statistic
+
+
+def chi_square_uniform_pvalue(counts: Sequence[int], trials_total: int) -> float:
+    """P-value that per-element inclusion counts are uniform.
+
+    ``trials_total`` is the total number of inclusions across all trials
+    (``trials * M``); under uniformity each of the ``len(counts)`` elements
+    expects ``trials_total / len(counts)`` inclusions.
+
+    Note: inclusion counts within one trial are weakly negatively
+    correlated (the sample has fixed size), which makes the chi-square
+    statistic slightly *smaller* than under independence -- the test is
+    conservative in the direction that matters (it will not flag a correct
+    algorithm).
+    """
+    cells = len(counts)
+    if cells < 2:
+        raise ValueError("need at least two cells")
+    expected = trials_total / cells
+    statistic = chi_square_statistic(counts, [expected] * cells)
+    return chi_square_survival(statistic, cells - 1)
+
+
+def chi_square_survival(statistic: float, dof: int) -> float:
+    """``P(Chi2_dof >= statistic)`` via the Wilson-Hilferty approximation."""
+    if dof <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    if statistic < 0:
+        raise ValueError("chi-square statistic cannot be negative")
+    if statistic == 0:
+        return 1.0
+    # Wilson-Hilferty: (X/k)^(1/3) ~ Normal(1 - 2/(9k), 2/(9k)).
+    z = ((statistic / dof) ** (1.0 / 3.0) - (1.0 - 2.0 / (9.0 * dof))) / math.sqrt(
+        2.0 / (9.0 * dof)
+    )
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def kolmogorov_smirnov_uniform(values: Sequence[float]) -> tuple[float, float]:
+    """KS test of ``values`` against Uniform[0, 1); returns ``(D, p)``.
+
+    Used to validate the raw PRNG output and the skip-distribution
+    transforms.  P-value from the asymptotic Kolmogorov distribution.
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("need at least one value")
+    ordered = sorted(values)
+    d = 0.0
+    for i, value in enumerate(ordered):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError("values must lie in [0, 1]")
+        d = max(d, (i + 1) / n - value, value - i / n)
+    # Asymptotic survival function with Stephens' finite-n correction.
+    t = d * (math.sqrt(n) + 0.12 + 0.11 / math.sqrt(n))
+    p = 0.0
+    for j in range(1, 101):
+        term = 2.0 * (-1.0) ** (j - 1) * math.exp(-2.0 * j * j * t * t)
+        p += term
+        if abs(term) < 1e-12:
+            break
+    return d, max(0.0, min(1.0, p))

@@ -1,0 +1,186 @@
+"""Pluggable acceptance tests, including biased reservoir sampling.
+
+Footnote 3 of the paper: "We are free to use any other acceptance test.
+For example, the biased reservoir sampling scheme in [7] is more suitable
+for data stream sampling."  The candidate log is agnostic to *which*
+acceptance law selected its entries -- the refresh algorithms only need
+candidates in arrival order, each destined for a uniformly random slot.
+
+This module makes the acceptance test a first-class, swappable strategy:
+
+* :class:`UniformAcceptance` -- the classic reservoir law ``M/(|R|+1)``
+  (what :class:`~repro.core.reservoir.ReservoirSampler` implements; kept
+  here for symmetry and for maintainers built via ``acceptance=``);
+* :class:`BiasedAcceptance` -- constant-probability acceptance, which
+  biases the sample exponentially toward recent elements: element ``i``
+  of a stream of ``n`` survives in the sample with probability
+  proportional to ``(1 - p/M)^(n-i)``.  This is the memoryless bias the
+  stream-sampling literature uses for sliding relevance windows; it keeps
+  the candidate-log machinery intact because each accepted element still
+  replaces a uniformly random slot;
+* :class:`BernoulliAcceptance` -- fixed-rate subsampling (no bounded
+  sample size; useful for load shedding where only the *rate* matters).
+
+All tests expose ``accept(rng) -> bool`` plus bookkeeping hooks, so a
+:class:`BiasedCandidateLogger` can drive any of them in front of the same
+log file and refresh algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+from repro.rng.random_source import RandomSource
+from repro.storage.files import LogFile
+
+__all__ = [
+    "AcceptanceTest",
+    "UniformAcceptance",
+    "BiasedAcceptance",
+    "BernoulliAcceptance",
+    "BiasedCandidateLogger",
+]
+
+
+class AcceptanceTest(Protocol):
+    """Decides, per arriving element, whether it becomes a candidate."""
+
+    def accept(self, rng: RandomSource) -> bool:
+        """Advance the stream by one element; True if it is a candidate."""
+        ...  # pragma: no cover - protocol
+
+    @property
+    def expected_rate(self) -> float:
+        """Current per-element acceptance probability (for diagnostics)."""
+        ...  # pragma: no cover - protocol
+
+
+class UniformAcceptance:
+    """The classic reservoir law: accept element ``t+1`` w.p. ``M/(t+1)``."""
+
+    def __init__(self, sample_size: int, initial_dataset_size: int) -> None:
+        if sample_size <= 0:
+            raise ValueError("sample_size must be positive")
+        if initial_dataset_size < sample_size:
+            raise ValueError("dataset must be at least as large as the sample")
+        self._sample_size = sample_size
+        self._seen = initial_dataset_size
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    @property
+    def expected_rate(self) -> float:
+        return self._sample_size / (self._seen + 1)
+
+    def accept(self, rng: RandomSource) -> bool:
+        self._seen += 1
+        return rng.random() * self._seen < self._sample_size
+
+
+class BiasedAcceptance:
+    """Constant-rate acceptance: exponential bias toward recent elements.
+
+    With acceptance probability ``p`` and uniform victim choice among the
+    ``M`` slots, an element that arrived ``a`` elements ago is still
+    sampled with probability ``p * (1 - p/M)^a`` -- a memoryless recency
+    window with mean age ``M/p``.  ``half_life`` expresses the same thing
+    operationally: the age at which survival probability halves.
+    """
+
+    def __init__(self, sample_size: int, acceptance_probability: float) -> None:
+        if sample_size <= 0:
+            raise ValueError("sample_size must be positive")
+        if not 0.0 < acceptance_probability <= 1.0:
+            raise ValueError(
+                f"acceptance probability must be in (0, 1], got "
+                f"{acceptance_probability}"
+            )
+        self._sample_size = sample_size
+        self._p = acceptance_probability
+
+    @classmethod
+    def with_half_life(cls, sample_size: int, half_life: int) -> "BiasedAcceptance":
+        """Choose the acceptance rate so survival halves every ``half_life``
+        arrivals: ``(1 - p/M)^half_life = 1/2``."""
+        if half_life <= 0:
+            raise ValueError("half_life must be positive")
+        p = sample_size * -math.expm1(math.log(0.5) / half_life)
+        return cls(sample_size, min(1.0, p))
+
+    @property
+    def expected_rate(self) -> float:
+        return self._p
+
+    @property
+    def mean_age(self) -> float:
+        """Expected age of a sampled element at steady state."""
+        return self._sample_size / self._p
+
+    def accept(self, rng: RandomSource) -> bool:
+        return rng.random() < self._p
+
+
+class BernoulliAcceptance:
+    """Plain fixed-rate subsampling (load shedding): no size bound implied."""
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self._rate = rate
+
+    @property
+    def expected_rate(self) -> float:
+        return self._rate
+
+    def accept(self, rng: RandomSource) -> bool:
+        return rng.random() < self._rate
+
+
+class BiasedCandidateLogger:
+    """Candidate logging under an arbitrary acceptance test.
+
+    Identical to :class:`~repro.core.logs.CandidateLogger` except the
+    acceptance law is injected.  The refresh phase is unchanged: any
+    candidate refresh algorithm (Array/Stack/Nomem) applies the log,
+    because "each candidate replaces a random element of the sample" holds
+    for every acceptance law above.
+    """
+
+    def __init__(
+        self,
+        log: LogFile,
+        acceptance: AcceptanceTest,
+        rng: RandomSource,
+    ) -> None:
+        self._log = log
+        self._acceptance = acceptance
+        self._rng = rng
+        self.inserts = 0
+        self.candidates = 0
+
+    @property
+    def log(self) -> LogFile:
+        return self._log
+
+    @property
+    def acceptance(self) -> AcceptanceTest:
+        return self._acceptance
+
+    def insert(self, element) -> bool:
+        self.inserts += 1
+        if self._acceptance.accept(self._rng):
+            self._log.append(element)
+            self.candidates += 1
+            return True
+        return False
+
+    def source(self):
+        from repro.core.logs import CandidateLogSource
+
+        return CandidateLogSource(self._log)
+
+    def after_refresh(self) -> None:
+        self._log.truncate()

@@ -1,0 +1,335 @@
+"""Maintenance orchestration: log phase + refresh phase under a policy.
+
+:class:`SampleMaintainer` is the library's front door.  It owns the on-disk
+sample, the chosen logging scheme and refresh algorithm, tracks the
+online/offline cost split the paper's experiments report (Sec. 6: "The
+online cost is the processing cost of arriving insertions.  The offline
+cost mirrors the cost for refreshing the sample."), and keeps the dataset
+size that the reservoir acceptance probabilities depend on.
+
+Strategies:
+
+* ``"immediate"`` -- classic reservoir maintenance straight onto disk, no
+  log (the paper's immediate-refresh baseline);
+* ``"candidate"`` -- candidate logging + any deferred refresh algorithm;
+* ``"full"`` -- full logging + the Sec. 5 adapter so the same deferred
+  refresh algorithms run over the full log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.logs import CandidateLogger, FullLogger
+from repro.core.refresh.base import RefreshAlgorithm, RefreshResult
+from repro.core.refresh.naive import NaiveFullRefresh
+from repro.core.policies import ManualPolicy, RefreshPolicy
+from repro.core.reservoir import ReservoirSampler
+from repro.rng.random_source import RandomSource
+from repro.storage.cost_model import AccessStats, CostModel
+from repro.storage.files import LogFile, SampleFile
+
+__all__ = ["SampleMaintainer", "MaintenanceStats"]
+
+_STRATEGIES = ("immediate", "candidate", "full")
+
+
+@dataclass
+class MaintenanceStats:
+    """Online/offline split of I/O, as the paper's figures report it."""
+
+    online: AccessStats = field(default_factory=AccessStats)
+    offline: AccessStats = field(default_factory=AccessStats)
+    inserts: int = 0
+    refreshes: int = 0
+    candidates_logged: int = 0
+    displaced_total: int = 0
+
+    @property
+    def total(self) -> AccessStats:
+        return self.online + self.offline
+
+
+class SampleMaintainer:
+    """Keeps a disk-based sample of size ``M`` in sync with insertions.
+
+    Parameters
+    ----------
+    sample:
+        The on-disk sample file; must already hold an initial uniform
+        sample (see :func:`repro.core.reservoir.build_reservoir`).
+    strategy:
+        ``"immediate"``, ``"candidate"`` or ``"full"``.
+    log:
+        The log file; required for the deferred strategies.
+    algorithm:
+        The deferred refresh algorithm (Array/Stack/Nomem/naive).  With
+        ``strategy="full"`` any candidate algorithm works via the Sec. 5
+        adapter, or pass :class:`NaiveFullRefresh` for the Sec. 3.1
+        baseline.
+    policy:
+        When to auto-refresh; defaults to manual.
+    initial_dataset_size:
+        ``|R|`` at the moment the initial sample was built.
+    """
+
+    def __init__(
+        self,
+        sample: SampleFile,
+        rng: RandomSource,
+        strategy: str,
+        initial_dataset_size: int,
+        log: LogFile | None = None,
+        algorithm: RefreshAlgorithm | None = None,
+        policy: RefreshPolicy | None = None,
+        cost_model: CostModel | None = None,
+        skip_method: str = "auto",
+    ) -> None:
+        if strategy not in _STRATEGIES:
+            raise ValueError(f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
+        if initial_dataset_size < sample.size:
+            raise ValueError(
+                "maintenance needs an existing full sample: dataset size "
+                f"{initial_dataset_size} < sample size {sample.size}"
+            )
+        if strategy != "immediate":
+            if log is None:
+                raise ValueError(f"strategy {strategy!r} requires a log file")
+            if algorithm is None:
+                raise ValueError(f"strategy {strategy!r} requires a refresh algorithm")
+        self._sample = sample
+        self._rng = rng
+        self._strategy = strategy
+        self._algorithm = algorithm
+        self._policy = policy if policy is not None else ManualPolicy()
+        self._cost_model = cost_model
+        self._skip_method = skip_method
+        self.stats = MaintenanceStats()
+        self._ops_since_refresh = 0
+
+        if strategy == "immediate":
+            self._reservoir = ReservoirSampler(
+                sample.size, rng, initial_size=initial_dataset_size,
+                skip_method=skip_method,
+            )
+            self._candidate_logger = None
+            self._full_logger = None
+        elif strategy == "candidate":
+            self._reservoir = None
+            self._candidate_logger = CandidateLogger(
+                log, sample.size, rng, initial_dataset_size, skip_method=skip_method
+            )
+            self._full_logger = None
+        else:  # full
+            self._reservoir = None
+            self._candidate_logger = None
+            self._full_logger = FullLogger(log, initial_dataset_size)
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def sample(self) -> SampleFile:
+        return self._sample
+
+    @property
+    def strategy(self) -> str:
+        return self._strategy
+
+    @property
+    def dataset_size(self) -> int:
+        if self._reservoir is not None:
+            return self._reservoir.seen
+        if self._candidate_logger is not None:
+            return self._candidate_logger.dataset_size
+        return self._full_logger.dataset_size
+
+    @property
+    def pending_log_elements(self) -> int:
+        if self._candidate_logger is not None:
+            return len(self._candidate_logger.log)
+        if self._full_logger is not None:
+            return len(self._full_logger.log)
+        return 0
+
+    # -- the two phases --------------------------------------------------------
+
+    def insert(self, element) -> None:
+        """Process one insertion into the dataset (the online phase)."""
+        checkpoint = self._checkpoint()
+        if self._strategy == "immediate":
+            slot = self._reservoir.offer(element)
+            if slot is not None:
+                self._sample.write_random(slot, element)
+                self.stats.candidates_logged += 1
+        elif self._strategy == "candidate":
+            if self._candidate_logger.insert(element):
+                self.stats.candidates_logged += 1
+        else:
+            self._full_logger.insert(element)
+        self._charge_online(checkpoint)
+        self.stats.inserts += 1
+        self._ops_since_refresh += 1
+        if self._policy.should_refresh(self._ops_since_refresh, self.pending_log_elements):
+            self.refresh()
+
+    def insert_many(self, elements) -> None:
+        for element in elements:
+            self.insert(element)
+
+    def refresh(self) -> RefreshResult | None:
+        """Run the deferred refresh (the offline phase); no-op if immediate."""
+        if self._strategy == "immediate":
+            self._ops_since_refresh = 0
+            return None
+        # Flushing the log's partial tail block is log-phase work: the
+        # paper books all log writes as online cost (Sec. 6.2), and the
+        # refresh would otherwise absorb the last block's write.
+        online_mark = self._checkpoint()
+        if self._candidate_logger is not None:
+            self._candidate_logger.log.flush()
+        else:
+            self._full_logger.log.flush()
+        self._charge_online(online_mark)
+        checkpoint = self._checkpoint()
+        if self._strategy == "candidate":
+            source = self._candidate_logger.source()
+            result = self._algorithm.refresh(self._sample, source, self._rng)
+            self._candidate_logger.after_refresh()
+        else:
+            if isinstance(self._algorithm, NaiveFullRefresh):
+                # The naive full refresh scans the raw log itself.
+                from repro.core.logs import CandidateLogSource
+
+                algorithm = NaiveFullRefresh(
+                    self._full_logger.dataset_size_at_last_refresh
+                )
+                source = CandidateLogSource(self._full_logger.log)
+                result = algorithm.refresh(self._sample, source, self._rng)
+            else:
+                source = self._full_logger.source(self._sample.size, self._rng)
+                result = self._algorithm.refresh(self._sample, source, self._rng)
+            self._full_logger.after_refresh()
+        self._charge_offline(checkpoint)
+        self.stats.refreshes += 1
+        self.stats.displaced_total += result.displaced
+        self._ops_since_refresh = 0
+        self._policy.notify_refresh()
+        return result
+
+    # -- durability (see repro.storage.superblock) ------------------------------
+
+    def checkpoint_state(self) -> "MaintenanceCheckpoint":
+        """Capture a durable, exactly-resumable snapshot of this maintainer.
+
+        Flushes the log's partial tail first (booked online, like any log
+        write) so the on-disk log matches the recorded element count.  Pair
+        with :class:`repro.storage.superblock.CheckpointStore` to persist,
+        and :meth:`from_checkpoint` to resume.
+        """
+        from repro.storage.superblock import MaintenanceCheckpoint
+
+        online_mark = self._checkpoint()
+        pending = None
+        if self._candidate_logger is not None:
+            self._candidate_logger.log.flush()
+            log_count = len(self._candidate_logger.log)
+            dataset_at_refresh = self._candidate_logger.dataset_size
+            pending = self._candidate_logger._sampler.pending_accept
+        elif self._full_logger is not None:
+            self._full_logger.log.flush()
+            log_count = len(self._full_logger.log)
+            dataset_at_refresh = self._full_logger.dataset_size_at_last_refresh
+        else:
+            log_count = 0
+            dataset_at_refresh = self._reservoir.seen
+            pending = self._reservoir.pending_accept
+        self._charge_online(online_mark)
+        seed, spawn_count, state, w = MaintenanceCheckpoint.capture_rng(self._rng)
+        return MaintenanceCheckpoint(
+            strategy=self._strategy,
+            sample_size=self._sample.size,
+            dataset_size=self.dataset_size,
+            dataset_size_at_refresh=dataset_at_refresh,
+            log_count=log_count,
+            inserts=self.stats.inserts,
+            refreshes=self.stats.refreshes,
+            pending_accept=pending,
+            ops_since_refresh=self._ops_since_refresh,
+            rng_seed=seed,
+            rng_spawn_count=spawn_count,
+            rng_state=state,
+            rng_w=w,
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        checkpoint: "MaintenanceCheckpoint",
+        sample: SampleFile,
+        log: LogFile | None = None,
+        algorithm: RefreshAlgorithm | None = None,
+        policy: RefreshPolicy | None = None,
+        cost_model: CostModel | None = None,
+        skip_method: str = "auto",
+    ) -> "SampleMaintainer":
+        """Resume maintenance from a checkpoint: bit-exact continuation.
+
+        ``sample`` must be the original (or recovered) sample file;
+        ``log`` a fresh :class:`LogFile` over the original log device --
+        its on-disk contents are re-attached via
+        :meth:`~repro.storage.files.LogFile.reopen`.  The restored PRNG
+        state makes every subsequent acceptance decision identical to an
+        uninterrupted run.
+        """
+        if checkpoint.sample_size != sample.size:
+            raise ValueError(
+                f"checkpoint is for sample size {checkpoint.sample_size}, "
+                f"got a sample of size {sample.size}"
+            )
+        rng = checkpoint.restore_rng()
+        if checkpoint.strategy != "immediate":
+            if log is None:
+                raise ValueError(
+                    f"strategy {checkpoint.strategy!r} requires the log file"
+                )
+            log.reopen(checkpoint.log_count)
+        maintainer = cls(
+            sample,
+            rng,
+            strategy=checkpoint.strategy,
+            initial_dataset_size=checkpoint.dataset_size_at_refresh,
+            log=log,
+            algorithm=algorithm,
+            policy=policy,
+            cost_model=cost_model,
+            skip_method=skip_method,
+        )
+        # Restore the counters the constructor cannot know.
+        if maintainer._reservoir is not None:
+            maintainer._reservoir._seen = checkpoint.dataset_size
+            maintainer._reservoir.pending_accept = checkpoint.pending_accept
+        elif maintainer._candidate_logger is not None:
+            sampler = maintainer._candidate_logger._sampler
+            sampler._seen = checkpoint.dataset_size
+            sampler.pending_accept = checkpoint.pending_accept
+        else:
+            maintainer._full_logger._dataset_size = checkpoint.dataset_size
+        maintainer.stats.inserts = checkpoint.inserts
+        maintainer.stats.refreshes = checkpoint.refreshes
+        maintainer._ops_since_refresh = checkpoint.ops_since_refresh
+        return maintainer
+
+    # -- cost accounting -------------------------------------------------------
+
+    def _checkpoint(self) -> AccessStats | None:
+        if self._cost_model is None:
+            return None
+        return self._cost_model.checkpoint()
+
+    def _charge_online(self, checkpoint: AccessStats | None) -> None:
+        if checkpoint is not None:
+            self.stats.online.add(self._cost_model.since(checkpoint))
+
+    def _charge_offline(self, checkpoint: AccessStats | None) -> None:
+        if checkpoint is not None:
+            self.stats.offline.add(self._cost_model.since(checkpoint))

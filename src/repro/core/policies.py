@@ -1,0 +1,80 @@
+"""Refresh policies: when the deferred refresh actually runs.
+
+The paper assumes periodic refresh in its experiments ("we assumed that
+the sample is refreshed periodically", Sec. 6.1) but the framework is
+policy-agnostic (Sec. 3 mentions lazy and periodic deferred refresh, after
+Gupta & Mumick's materialized-view taxonomy).  A policy is consulted after
+every processed operation.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+__all__ = ["RefreshPolicy", "PeriodicPolicy", "ThresholdPolicy", "ManualPolicy"]
+
+
+class RefreshPolicy(Protocol):
+    """Decides whether to refresh after an operation was processed."""
+
+    def should_refresh(self, operations_since_refresh: int, log_elements: int) -> bool:
+        """``operations_since_refresh`` counts dataset operations;
+        ``log_elements`` counts what actually landed in the log."""
+        ...  # pragma: no cover - protocol
+
+    def notify_refresh(self) -> None:
+        """Called after a refresh completed."""
+        ...  # pragma: no cover - protocol
+
+
+class PeriodicPolicy:
+    """Refresh every ``period`` dataset operations (the paper's default)."""
+
+    def __init__(self, period: int) -> None:
+        if period <= 0:
+            raise ValueError("refresh period must be positive")
+        self.period = period
+
+    def should_refresh(self, operations_since_refresh: int, log_elements: int) -> bool:
+        return operations_since_refresh >= self.period
+
+    def notify_refresh(self) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return f"PeriodicPolicy(period={self.period})"
+
+
+class ThresholdPolicy:
+    """Refresh once the log holds ``max_log_elements`` elements.
+
+    With candidate logging this bounds the *candidate* count (the quantity
+    Fig. 12/13 sweep); with full logging it bounds raw log size.
+    """
+
+    def __init__(self, max_log_elements: int) -> None:
+        if max_log_elements <= 0:
+            raise ValueError("max_log_elements must be positive")
+        self.max_log_elements = max_log_elements
+
+    def should_refresh(self, operations_since_refresh: int, log_elements: int) -> bool:
+        return log_elements >= self.max_log_elements
+
+    def notify_refresh(self) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return f"ThresholdPolicy(max_log_elements={self.max_log_elements})"
+
+
+class ManualPolicy:
+    """Never auto-refresh; the caller invokes ``refresh()`` explicitly."""
+
+    def should_refresh(self, operations_since_refresh: int, log_elements: int) -> bool:
+        return False
+
+    def notify_refresh(self) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "ManualPolicy()"

@@ -1,0 +1,39 @@
+"""The refresh phase: applying a candidate log to the on-disk sample.
+
+Algorithms, in the order the paper introduces them:
+
+* :class:`~repro.core.refresh.naive.NaiveFullRefresh` -- reservoir sampling
+  replayed over a full log (Sec. 3.1);
+* :class:`~repro.core.refresh.naive.NaiveCandidateRefresh` -- each candidate
+  written to a random sample position (Sec. 3.2);
+* :class:`~repro.core.refresh.array.ArrayRefresh` -- precompute final
+  candidates in an M-entry array, optional sort, sequential write
+  (Sec. 4.1, Alg. 1);
+* :class:`~repro.core.refresh.stack.StackRefresh` -- reverse-order
+  precomputation on a LIFO stack, geometric skips (Sec. 4.2, Alg. 2);
+* :class:`~repro.core.refresh.nomem.NomemRefresh` -- Stack Refresh without
+  the stack, by replaying the geometric PRNG from a saved state
+  (Sec. 4.3, Alg. 3).
+
+All three deferred algorithms perform identical disk I/O (Sec. 6.3): Psi
+sequential log reads and Psi sequential sample writes, block-coalesced.
+They differ only in main memory (Fig. 12) and CPU time (Fig. 13).
+"""
+
+from repro.core.refresh.base import RefreshAlgorithm, RefreshResult
+from repro.core.refresh.naive import NaiveCandidateRefresh, NaiveFullRefresh
+from repro.core.refresh.array import ArrayRefresh
+from repro.core.refresh.stack import StackRefresh
+from repro.core.refresh.nomem import NomemRefresh
+from repro.core.refresh import math as refresh_math
+
+__all__ = [
+    "RefreshAlgorithm",
+    "RefreshResult",
+    "NaiveFullRefresh",
+    "NaiveCandidateRefresh",
+    "ArrayRefresh",
+    "StackRefresh",
+    "NomemRefresh",
+    "refresh_math",
+]

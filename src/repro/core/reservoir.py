@@ -1,0 +1,192 @@
+"""Reservoir sampling (Vitter's Algorithm R with skip-based acceleration).
+
+All maintenance strategies in the paper are built on the reservoir scheme
+(Sec. 2): the first ``M`` elements fill the sample; afterwards the ``t+1``-th
+element replaces a uniformly random sample slot with probability
+``M / (t+1)``.  Two operational modes matter here:
+
+* :meth:`ReservoirSampler.offer` performs the full step -- acceptance test
+  *and* victim-slot choice -- and is what **immediate** maintenance uses;
+* :meth:`ReservoirSampler.test` performs the acceptance test only, which is
+  the **candidate logging** primitive (Sec. 3.2): the victim slot is chosen
+  later, during refresh.
+
+Acceptance is computed via Vitter's skip variates (Algorithms X/Z, [4]),
+so long streams pay O(candidates), not O(elements); ``skip_method="r"``
+switches to the literal one-Bernoulli-per-element Algorithm R, which tests
+use to validate the skip-based path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TypeVar
+
+from repro.rng.random_source import RandomSource
+
+__all__ = ["ReservoirSampler", "build_reservoir"]
+
+T = TypeVar("T")
+
+
+class ReservoirSampler:
+    """Stateful reservoir acceptance over a growing dataset.
+
+    The sampler tracks how many elements it has seen (``|R|`` in the paper)
+    and decides, per arriving element, whether it becomes a candidate.  It
+    does **not** store the sample itself -- the sample lives on disk (a
+    :class:`~repro.storage.files.SampleFile`) or wherever the caller keeps
+    it; the sampler reports slots/acceptances.
+
+    ``initial_size`` seeds the dataset-size counter for datasets that
+    already contain elements (the paper's experiments start with
+    ``|R| = 1M`` and a full sample).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        rng: RandomSource,
+        initial_size: int = 0,
+        skip_method: str = "auto",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("reservoir capacity must be positive")
+        if initial_size < 0:
+            raise ValueError("initial_size must be non-negative")
+        if skip_method not in ("auto", "x", "z", "r"):
+            raise ValueError(f"unknown skip method: {skip_method!r}")
+        if 0 < initial_size < capacity:
+            raise ValueError(
+                "initial_size must be 0 (empty) or >= capacity (full sample); "
+                "partially filled disk samples are not meaningful here"
+            )
+        self._capacity = capacity
+        self._rng = rng
+        self._seen = initial_size
+        self._skip_method = skip_method
+        # Position (1-based count) of the next accepted element, or None if
+        # it has not been determined yet.
+        self._next_accept: int | None = None
+
+    @property
+    def capacity(self) -> int:
+        """Sample size ``M``."""
+        return self._capacity
+
+    @property
+    def seen(self) -> int:
+        """Dataset size ``|R|``: elements processed so far."""
+        return self._seen
+
+    @property
+    def filling(self) -> bool:
+        """True while the first ``M`` elements are still being collected."""
+        return self._seen < self._capacity
+
+    @property
+    def pending_accept(self) -> int | None:
+        """Precomputed 1-based position of the next accepted element.
+
+        Skip-based acceptance holds one pending draw between elements;
+        checkpoint/recovery (see :mod:`repro.storage.superblock`) must
+        persist it for bit-exact resumption.
+        """
+        return self._next_accept
+
+    @pending_accept.setter
+    def pending_accept(self, value: int | None) -> None:
+        if value is not None and value <= self._seen:
+            raise ValueError(
+                f"pending accept position {value} is not in the future "
+                f"(seen={self._seen})"
+            )
+        self._next_accept = value
+
+    def offer(self, _element: T = None) -> int | None:
+        """Process one arriving element; return its sample slot or ``None``.
+
+        While filling, every element is accepted into the next free slot.
+        Afterwards the element is accepted with probability ``M/(|R|+1)``
+        into a uniformly random slot.  The element value itself is not
+        needed -- only the caller knows where the sample lives -- but may
+        be passed for readability.
+        """
+        if self._seen < self._capacity:
+            slot = self._seen
+            self._seen += 1
+            return slot
+        if self._accept_next():
+            return self._rng.randrange(self._capacity)
+        return None
+
+    def test(self, _element: T = None) -> bool:
+        """Acceptance test only (the candidate-logging primitive).
+
+        Raises while the sampler is still filling: candidate logging only
+        makes sense once an initial sample exists (Sec. 3 assumes "a
+        uniform random sample of size M has been computed already").
+        """
+        if self._seen < self._capacity:
+            raise RuntimeError(
+                "candidate test before the initial sample is complete; "
+                "build the sample first (e.g. with build_reservoir())"
+            )
+        return self._accept_next()
+
+    def _accept_next(self) -> bool:
+        """Advance ``seen`` by one; True if that element is a candidate."""
+        if self._skip_method == "r":
+            # Literal Algorithm R: one Bernoulli per element.
+            self._seen += 1
+            return self._rng.random() * self._seen < self._capacity
+        if self._next_accept is None:
+            skip = self._rng.reservoir_skip(
+                self._capacity, self._seen, method=self._skip_method
+            )
+            self._next_accept = self._seen + skip + 1
+        self._seen += 1
+        if self._seen == self._next_accept:
+            self._next_accept = None
+            return True
+        return False
+
+
+def build_reservoir(
+    items: Iterable[T],
+    capacity: int,
+    rng: RandomSource,
+    skip_method: str = "auto",
+) -> tuple[list[T], int]:
+    """Compute an initial reservoir sample of ``items`` in one pass.
+
+    Returns ``(sample, dataset_size)``.  This is the "sample has been
+    computed already" precondition of Sec. 3; use it to initialise a
+    :class:`~repro.storage.files.SampleFile` before starting maintenance.
+    """
+    sampler = ReservoirSampler(capacity, rng, skip_method=skip_method)
+    sample: list[T] = []
+    for item in items:
+        slot = sampler.offer(item)
+        if slot is None:
+            continue
+        if slot == len(sample):
+            sample.append(item)
+        else:
+            sample[slot] = item
+    return sample, sampler.seen
+
+
+def merge_into_sample(sample: list[T], slot: int, element: T) -> None:
+    """Apply one accepted element to an in-memory sample list."""
+    if slot == len(sample):
+        sample.append(element)
+    elif 0 <= slot < len(sample):
+        sample[slot] = element
+    else:
+        raise IndexError(f"slot {slot} invalid for sample of size {len(sample)}")
+
+
+def sample_is_plausible(sample: Sequence[T], capacity: int, seen: int) -> bool:
+    """Cheap structural invariant used by tests: correct size bookkeeping."""
+    expected = min(capacity, seen)
+    return len(sample) == expected

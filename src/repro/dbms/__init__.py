@@ -1,0 +1,34 @@
+"""Section 5 environment: deferred sample maintenance inside a DBMS.
+
+The paper argues its refresh algorithms drop into a database system whose
+deferred materialized-view machinery already maintains a full change log
+(IBM DB2's staging tables, Oracle's materialized view logs).  This
+subpackage builds that environment:
+
+* :mod:`~repro.dbms.table` -- a minimal keyed table with
+  insert/update/delete and change notifications;
+* :mod:`~repro.dbms.staging` -- a staging table: the DBMS-maintained full
+  log of changes, stored block-aligned like everything else;
+* :mod:`~repro.dbms.sample_view` -- the sample as a deferred materialized
+  view: insertions refresh through the full-log adapter, updates are
+  applied from a separate update log after each refresh, deletions shrink
+  the sample before the insert log is processed (all per Sec. 5).
+"""
+
+from repro.dbms.table import Row, Table
+from repro.dbms.staging import StagingTable, ChangeKind, Change
+from repro.dbms.staged_source import StagingLogSource
+from repro.dbms.join_synopsis import JoinedRow, JoinSynopsis
+from repro.dbms.sample_view import SampleView
+
+__all__ = [
+    "Table",
+    "Row",
+    "StagingTable",
+    "StagingLogSource",
+    "Change",
+    "ChangeKind",
+    "SampleView",
+    "JoinSynopsis",
+    "JoinedRow",
+]

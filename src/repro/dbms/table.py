@@ -1,0 +1,81 @@
+"""A minimal keyed table with change notifications.
+
+Just enough DBMS to host the Sec. 5 scenario: rows are ``(key, value)``
+pairs, mutated through insert/update/delete, and every change is pushed to
+subscribers (the staging table, and through it the sample view).  The
+sampling machinery never reads the table directly -- the paper's standing
+assumption ("access to the base data is disallowed at any time") is
+enforced by simply not offering the sample view a handle to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = ["Row", "Table"]
+
+
+@dataclass(frozen=True)
+class Row:
+    """One table row."""
+
+    key: int
+    value: int
+
+
+class Table:
+    """Insert/update/delete over keyed rows, with change callbacks."""
+
+    def __init__(self, name: str = "R") -> None:
+        self._name = name
+        self._rows: dict[int, int] = {}
+        self._subscribers: list[Callable] = []
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._rows
+
+    def subscribe(self, callback: Callable) -> None:
+        """Register ``callback(kind, row)`` for every change.
+
+        ``kind`` is ``"insert"``, ``"update"`` or ``"delete"``; ``row`` is
+        the post-image for inserts/updates and the pre-image for deletes.
+        """
+        self._subscribers.append(callback)
+
+    def insert(self, key: int, value: int) -> None:
+        if key in self._rows:
+            raise KeyError(f"duplicate key {key} in table {self._name}")
+        self._rows[key] = value
+        self._notify("insert", Row(key, value))
+
+    def update(self, key: int, value: int) -> None:
+        if key not in self._rows:
+            raise KeyError(f"update of missing key {key} in table {self._name}")
+        self._rows[key] = value
+        self._notify("update", Row(key, value))
+
+    def delete(self, key: int) -> None:
+        if key not in self._rows:
+            raise KeyError(f"delete of missing key {key} in table {self._name}")
+        value = self._rows.pop(key)
+        self._notify("delete", Row(key, value))
+
+    def get(self, key: int) -> int | None:
+        return self._rows.get(key)
+
+    def rows(self) -> Iterator[Row]:
+        """Full scan -- for verification only; samplers must not call this."""
+        for key, value in self._rows.items():
+            yield Row(key, value)
+
+    def _notify(self, kind: str, row: Row) -> None:
+        for callback in self._subscribers:
+            callback(kind, row)

@@ -1,0 +1,43 @@
+"""Experiment harness regenerating the paper's evaluation (Sec. 6).
+
+* :mod:`~repro.experiments.engine` -- vectorised cost simulator.  It draws
+  the candidate stream element-exactly (one Bernoulli per insertion, the
+  true ``M/(|R|+1)`` acceptance probabilities) and computes the expected
+  block-level access counts of every strategy in closed form, reproducing
+  the paper's count-then-weight methodology at 1M/100M paper scale in
+  seconds.  An integration test pins the engine against the reference
+  (per-element, real-block-device) implementation at small scale.
+* :mod:`~repro.experiments.figures` -- one experiment definition per paper
+  figure (Figs. 6-14) plus the Sec. 6.1 access-time table.
+* :mod:`~repro.experiments.scaling` -- smoke/default/paper scale presets.
+* :mod:`~repro.experiments.report` -- series tables and paper-vs-measured
+  comparison output.
+"""
+
+from repro.experiments.engine import (
+    MaintenanceCost,
+    candidate_positions,
+    immediate_online_cost,
+    log_online_cost,
+    refresh_offline_cost,
+    geometric_file_cost,
+    simulate_strategy,
+)
+from repro.experiments.figures import FIGURES, get_figure
+from repro.experiments.report import format_series_table
+from repro.experiments.scaling import SCALES, Scale
+
+__all__ = [
+    "MaintenanceCost",
+    "candidate_positions",
+    "immediate_online_cost",
+    "log_online_cost",
+    "refresh_offline_cost",
+    "geometric_file_cost",
+    "simulate_strategy",
+    "FIGURES",
+    "get_figure",
+    "format_series_table",
+    "SCALES",
+    "Scale",
+]

@@ -1,0 +1,74 @@
+"""Scale presets for the experiments.
+
+The paper's setting is a 1M-element sample receiving 100M insertions.
+Every figure definition takes a :class:`Scale` so the same experiment runs
+as a quick smoke test, at a laptop-friendly default, or at full paper
+scale (the engine handles paper scale in seconds; only the CPU-timing
+figure, Fig. 13, is meaningfully slower because it times the real Python
+implementations).
+
+All sweeps inside the figures are expressed *relative* to these base
+quantities, so shapes are preserved across scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Scale", "SCALES", "resolve_scale"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Base quantities of one experiment scale."""
+
+    name: str
+    sample_size: int
+    initial_dataset: int
+    inserts: int
+    refresh_period: int
+    #: trials for averaging where the figure needs it
+    repetitions: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sample_size <= 0 or self.inserts <= 0 or self.refresh_period <= 0:
+            raise ValueError("scale quantities must be positive")
+        if self.initial_dataset < self.sample_size:
+            raise ValueError("initial dataset must hold at least one full sample")
+
+
+SCALES: dict[str, Scale] = {
+    "smoke": Scale(
+        name="smoke",
+        sample_size=2_000,
+        initial_dataset=2_000,
+        inserts=200_000,
+        refresh_period=2_000,
+    ),
+    "default": Scale(
+        name="default",
+        sample_size=100_000,
+        initial_dataset=100_000,
+        inserts=10_000_000,
+        refresh_period=100_000,
+    ),
+    "paper": Scale(
+        name="paper",
+        sample_size=1_000_000,
+        initial_dataset=1_000_000,
+        inserts=100_000_000,
+        refresh_period=1_000_000,
+    ),
+}
+
+
+def resolve_scale(scale: "str | Scale") -> Scale:
+    """Accept either a preset name or an explicit :class:`Scale`."""
+    if isinstance(scale, Scale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALES)} or pass a Scale"
+        ) from None

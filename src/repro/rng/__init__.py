@@ -1,0 +1,35 @@
+"""Pseudo-random number substrate.
+
+The Nomem Refresh algorithm (Sec. 4.3 of the paper) depends on a PRNG whose
+state can be captured and restored so that the exact same variate sequence
+can be generated twice without buffering it.  This subpackage provides:
+
+* :class:`~repro.rng.mt19937.MT19937` -- the Mersenne Twister generator
+  ([14] in the paper) implemented from scratch with O(1)-cost state
+  snapshot/restore.
+* :class:`~repro.rng.random_source.RandomSource` -- the high-level facade
+  used throughout the library (uniform variates, integers, geometric
+  variates, reservoir skips).
+* :mod:`~repro.rng.distributions` -- the variate generators themselves.
+* :mod:`~repro.rng.sequential` -- Vitter's 1984 sequential sampling
+  (Methods A and D), used by the refresh write phase ([3] in the paper).
+"""
+
+from repro.rng.mt19937 import MT19937
+from repro.rng.random_source import RandomSource
+from repro.rng.distributions import (
+    geometric_variate,
+    reservoir_skip,
+    reservoir_skip_z,
+)
+from repro.rng.sequential import SequentialSampler, sequential_sample
+
+__all__ = [
+    "MT19937",
+    "RandomSource",
+    "geometric_variate",
+    "reservoir_skip",
+    "reservoir_skip_z",
+    "SequentialSampler",
+    "sequential_sample",
+]

@@ -1,0 +1,145 @@
+"""High-level randomness facade used throughout the library.
+
+A :class:`RandomSource` owns one :class:`~repro.rng.mt19937.MT19937`
+generator and exposes the handful of variates the paper's algorithms need.
+Two design points matter:
+
+* **Snapshot/restore** (:meth:`RandomSource.snapshot`,
+  :meth:`RandomSource.restore`) is first-class, because Nomem Refresh
+  (Sec. 4.3) and the full-log adapter (Sec. 5) work by replaying a variate
+  sequence from a stored PRNG state instead of buffering it in memory.
+* **Independent named streams** (:meth:`RandomSource.spawn`): the full-log
+  adapter interleaves two replayed sequences (Vitter skips locating
+  candidates in the full log, and the refresh algorithm's geometric skips).
+  Those must come from *separate* generators or restoring one state would
+  corrupt the other stream; ``spawn`` derives a decorrelated child generator
+  deterministically from the parent.
+"""
+
+from __future__ import annotations
+
+from repro.rng.distributions import geometric_variate, reservoir_skip
+from repro.rng.mt19937 import MT19937, MTState
+
+__all__ = ["RandomSource"]
+
+# SplitMix64 constants, used to derive well-separated child seeds.
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _splitmix64(x: int) -> int:
+    x = (x + _SPLITMIX_GAMMA) & _MASK64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+class RandomSource:
+    """Seeded source of the variates the paper's algorithms consume.
+
+    >>> rng = RandomSource(seed=42)
+    >>> state = rng.snapshot()
+    >>> a = [rng.geometric(0.25) for _ in range(4)]
+    >>> rng.restore(state)
+    >>> a == [rng.geometric(0.25) for _ in range(4)]
+    True
+    """
+
+    __slots__ = ("_gen", "_seed", "_spawn_count", "_w")
+
+    def __init__(self, seed: int = 0, _generator: MT19937 | None = None) -> None:
+        self._seed = seed
+        self._gen = _generator if _generator is not None else MT19937(seed=_mix_seed(seed))
+        self._spawn_count = 0
+        # Vitter Algorithm Z auxiliary variable, carried between skips.
+        self._w: float | None = None
+
+    @property
+    def seed(self) -> int:
+        """The seed this source was created with."""
+        return self._seed
+
+    # -- uniform primitives -------------------------------------------------
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._gen.random()
+
+    def randrange(self, n: int) -> int:
+        """Uniform integer in [0, n) without modulo bias."""
+        return self._gen.randrange(n)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range [low, high]."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        return low + self._gen.randrange(high - low + 1)
+
+    def bernoulli(self, p: float) -> bool:
+        """Return True with probability ``p``."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {p}")
+        return self._gen.random() < p
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self._gen.randrange(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    # -- paper-specific variates ---------------------------------------------
+
+    def geometric(self, p: float) -> int:
+        """Failures before first success with success probability ``p``."""
+        return geometric_variate(self._gen, p)
+
+    def reservoir_skip(self, sample_size: int, seen: int, method: str = "auto") -> int:
+        """Elements to skip before the next reservoir candidate.
+
+        ``seen`` is the number of dataset elements processed so far
+        (``t >= sample_size``).  The Algorithm-Z auxiliary variable is
+        carried inside this source, so callers just ask for skips.
+        """
+        skip, self._w = reservoir_skip(self._gen, sample_size, seen, self._w, method)
+        return skip
+
+    # -- state management ----------------------------------------------------
+
+    def snapshot(self) -> tuple[MTState, float | None]:
+        """Capture the complete replayable state of this source."""
+        return self._gen.getstate(), self._w
+
+    def restore(self, state: tuple[MTState, float | None]) -> None:
+        """Restore a snapshot captured by :meth:`snapshot`."""
+        mt_state, w = state
+        self._gen.setstate(mt_state)
+        self._w = w
+
+    def spawn(self, label: str = "") -> "RandomSource":
+        """Derive a deterministic, decorrelated child source.
+
+        The child's seed mixes the parent seed, a per-parent spawn counter
+        and the label, so repeated runs get identical substreams while
+        distinct substreams stay independent.
+        """
+        self._spawn_count += 1
+        material = self._seed & _MASK64
+        material = _splitmix64(material ^ self._spawn_count)
+        for ch in label:
+            material = _splitmix64(material ^ ord(ch))
+        child = RandomSource.__new__(RandomSource)
+        child._seed = material
+        child._gen = MT19937(seed=material & 0xFFFFFFFF)
+        child._spawn_count = 0
+        child._w = None
+        return child
+
+    def __repr__(self) -> str:
+        return f"RandomSource(seed={self._seed})"
+
+
+def _mix_seed(seed: int) -> int:
+    """Spread small user seeds across the 32-bit seed space."""
+    return _splitmix64(seed & _MASK64) & 0xFFFFFFFF

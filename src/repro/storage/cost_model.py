@@ -1,0 +1,178 @@
+"""Disk parameters, access statistics and the count-to-seconds cost model.
+
+This module encodes the paper's Sec. 6.1 methodology verbatim: algorithms
+are charged per *block-level* access, classified as sequential or random,
+and the four counters are weighted with per-access times calibrated on real
+hardware.  :data:`PAPER_DISK` carries the paper's published measurements
+(7 200 RPM IDE disk, ext3, 4 096-byte blocks, 32-byte elements), so cost
+figures come out in the same units -- seconds -- as the paper's plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DiskParameters", "AccessStats", "CostModel", "PAPER_DISK"]
+
+
+@dataclass(frozen=True)
+class DiskParameters:
+    """Physical characteristics and per-access times of a disk.
+
+    Times are in milliseconds per block access, as in the paper.
+    """
+
+    block_size: int = 4096
+    element_size: int = 32
+    seq_read_ms: float = 0.094
+    seq_write_ms: float = 0.094
+    random_read_ms: float = 8.45
+    random_write_ms: float = 5.50
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if self.element_size <= 0:
+            raise ValueError("element_size must be positive")
+        if self.element_size > self.block_size:
+            raise ValueError(
+                f"element ({self.element_size} B) does not fit in a block "
+                f"({self.block_size} B)"
+            )
+        for name in ("seq_read_ms", "seq_write_ms", "random_read_ms", "random_write_ms"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def elements_per_block(self) -> int:
+        """How many fixed-size elements one block holds (128 in the paper)."""
+        return self.block_size // self.element_size
+
+    def blocks_for_elements(self, n_elements: int) -> int:
+        """Blocks needed to store ``n_elements``, rounding up."""
+        if n_elements < 0:
+            raise ValueError("n_elements must be non-negative")
+        per_block = self.elements_per_block
+        return -(-n_elements // per_block)
+
+
+#: The disk the paper measured (Sec. 6.1): Athlon XP 3000+ system, IDE disk
+#: at 7 200 RPM, ext3 with 4 096-byte blocks, 32-byte elements.
+PAPER_DISK = DiskParameters()
+
+
+@dataclass
+class AccessStats:
+    """Categorised block-access counters.
+
+    These four counters are the entire experimental currency of the paper:
+    every figure is a weighting of them.
+    """
+
+    seq_reads: int = 0
+    seq_writes: int = 0
+    random_reads: int = 0
+    random_writes: int = 0
+
+    def record(self, kind: str, sequential: bool, count: int = 1) -> None:
+        """Add ``count`` block accesses of the given kind.
+
+        ``kind`` is ``"read"`` or ``"write"``.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if kind == "read":
+            if sequential:
+                self.seq_reads += count
+            else:
+                self.random_reads += count
+        elif kind == "write":
+            if sequential:
+                self.seq_writes += count
+            else:
+                self.random_writes += count
+        else:
+            raise ValueError(f"unknown access kind: {kind!r}")
+
+    @property
+    def total_accesses(self) -> int:
+        return self.seq_reads + self.seq_writes + self.random_reads + self.random_writes
+
+    def add(self, other: "AccessStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.seq_reads += other.seq_reads
+        self.seq_writes += other.seq_writes
+        self.random_reads += other.random_reads
+        self.random_writes += other.random_writes
+
+    def __add__(self, other: "AccessStats") -> "AccessStats":
+        result = AccessStats()
+        result.add(self)
+        result.add(other)
+        return result
+
+    def __sub__(self, other: "AccessStats") -> "AccessStats":
+        """Difference, e.g. ``after - before`` around one operation."""
+        return AccessStats(
+            seq_reads=self.seq_reads - other.seq_reads,
+            seq_writes=self.seq_writes - other.seq_writes,
+            random_reads=self.random_reads - other.random_reads,
+            random_writes=self.random_writes - other.random_writes,
+        )
+
+    def copy(self) -> "AccessStats":
+        return AccessStats(
+            seq_reads=self.seq_reads,
+            seq_writes=self.seq_writes,
+            random_reads=self.random_reads,
+            random_writes=self.random_writes,
+        )
+
+    def reset(self) -> None:
+        self.seq_reads = 0
+        self.seq_writes = 0
+        self.random_reads = 0
+        self.random_writes = 0
+
+    def cost_seconds(self, disk: DiskParameters = PAPER_DISK) -> float:
+        """Weight the counters with per-access times; result in seconds."""
+        ms = (
+            self.seq_reads * disk.seq_read_ms
+            + self.seq_writes * disk.seq_write_ms
+            + self.random_reads * disk.random_read_ms
+            + self.random_writes * disk.random_write_ms
+        )
+        return ms / 1000.0
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessStats(seq_reads={self.seq_reads}, seq_writes={self.seq_writes}, "
+            f"random_reads={self.random_reads}, random_writes={self.random_writes})"
+        )
+
+
+@dataclass
+class CostModel:
+    """Binds a disk's parameters to a running total of access statistics.
+
+    One :class:`CostModel` typically spans a whole experiment; each on-disk
+    structure (sample file, log file, geometric file) registers its
+    accesses here so online, offline and total cost can be split out the
+    way the paper's figures do.
+    """
+
+    disk: DiskParameters = PAPER_DISK
+    stats: AccessStats = field(default_factory=AccessStats)
+
+    def charge(self, kind: str, sequential: bool, count: int = 1) -> None:
+        self.stats.record(kind, sequential, count)
+
+    def cost_seconds(self) -> float:
+        return self.stats.cost_seconds(self.disk)
+
+    def checkpoint(self) -> AccessStats:
+        """Snapshot the counters; subtract later to isolate one phase."""
+        return self.stats.copy()
+
+    def since(self, checkpoint: AccessStats) -> AccessStats:
+        return self.stats - checkpoint

@@ -1,0 +1,88 @@
+"""Crash-injection block device for failure testing.
+
+Wraps any block device and kills the "process" -- by raising
+:class:`InjectedCrash` -- after a configured number of block writes.
+Everything written before the crash stays on the underlying device, and
+nothing after it happens, which is exactly the torn state a power failure
+leaves behind.
+
+Used by the recovery tests to demonstrate the refresh algorithms'
+*idempotence*: a deferred refresh reads only the log, never the sample
+(stable elements are skipped unread; displaced ones are overwritten), so
+re-running the same refresh from the same PRNG state writes the same
+values to the same places.  A crash mid-refresh therefore needs no undo:
+recover the pre-refresh checkpoint and simply run the refresh again.
+"""
+
+from __future__ import annotations
+
+__all__ = ["InjectedCrash", "FaultInjectionDevice"]
+
+
+class InjectedCrash(RuntimeError):
+    """The simulated process died mid-operation."""
+
+
+class FaultInjectionDevice:
+    """Decorates a block device; crashes after ``writes_until_crash`` writes.
+
+    ``writes_until_crash=None`` disarms the device (pass-through).  The
+    counter spans the device's lifetime, not a single operation, so a
+    crash can land in the middle of any multi-block write sequence.
+    """
+
+    def __init__(self, inner, writes_until_crash: int | None = None) -> None:
+        if writes_until_crash is not None and writes_until_crash < 0:
+            raise ValueError("writes_until_crash must be non-negative")
+        self._inner = inner
+        self._budget = writes_until_crash
+        self.writes_survived = 0
+
+    @property
+    def block_size(self) -> int:
+        return self._inner.block_size
+
+    @property
+    def cost_model(self):
+        return self._inner.cost_model
+
+    @property
+    def inner(self):
+        """The undecorated device -- the 'disk' that survives the crash."""
+        return self._inner
+
+    def arm(self, writes_until_crash: int) -> None:
+        """(Re-)arm the crash trigger."""
+        if writes_until_crash < 0:
+            raise ValueError("writes_until_crash must be non-negative")
+        self._budget = writes_until_crash
+
+    def disarm(self) -> None:
+        self._budget = None
+
+    def read_block(self, index: int, sequential: bool) -> bytes:
+        return self._inner.read_block(index, sequential)
+
+    def write_block(self, index: int, data: bytes, sequential: bool) -> None:
+        if self._budget is not None:
+            if self._budget == 0:
+                raise InjectedCrash(
+                    f"simulated crash after {self.writes_survived} writes"
+                )
+            self._budget -= 1
+        self._inner.write_block(index, data, sequential)
+        self.writes_survived += 1
+
+    def peek_block(self, index: int) -> bytes:
+        return self._inner.peek_block(index)
+
+    def poke_block(self, index: int, data: bytes) -> None:
+        # Bookkeeping mutations (cache hits) are not disk writes; a crash
+        # loses them anyway, so they do not consume the budget.
+        self._inner.poke_block(index, data)
+
+    def discard(self, index: int) -> None:
+        self._inner.discard(index)
+
+    def discard_from(self, first_index: int) -> None:
+        self._inner.discard_from(first_index)

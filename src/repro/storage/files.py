@@ -1,0 +1,452 @@
+"""Block-aligned on-disk structures: the sample file and the log file.
+
+These two files are the only disk-resident structures in the paper's
+setting: a :class:`SampleFile` holds the ``M`` sample elements, a
+:class:`LogFile` accumulates logged insertions between refreshes.  Both
+pack fixed-size elements into blocks (128 per 4 096-byte block with the
+paper's 32-byte elements) and charge block-level I/O through the device.
+
+Charging rules (matching Sec. 6.1 of the paper):
+
+* appends charge one **sequential write** per filled block; the first block
+  written after the log is truncated/reused charges a **random write**
+  instead -- the "one random I/O ... to move from the current position to
+  the beginning of the log file" of Sec. 6.2;
+* scans charge one **sequential read** per block;
+* indexed forward reads (refresh algorithms touching only the blocks that
+  contain final candidates) charge one sequential read per *distinct*
+  block;
+* random element writes (immediate refresh, naive candidate refresh)
+  charge one **random write** per access, coalescing consecutive accesses
+  to the same block (the single-block file-system cache the paper grants);
+* the paper charges writes without a preceding block read ("due to
+  asynchronous writes" its random-write time is below its random-read
+  time), so neither do we -- block contents are fetched without charge to
+  keep the data itself correct.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, TypeVar
+
+from repro.storage.block_device import SimulatedBlockDevice
+from repro.storage.records import RecordCodec
+
+__all__ = ["SampleFile", "LogFile"]
+
+T = TypeVar("T")
+
+
+class _BlockStore:
+    """Shared element-in-block packing over a block device."""
+
+    def __init__(self, device: SimulatedBlockDevice, codec: RecordCodec) -> None:
+        if device.block_size % codec.record_size != 0:
+            raise ValueError(
+                f"record size {codec.record_size} must divide block size "
+                f"{device.block_size}"
+            )
+        self._device = device
+        self._codec = codec
+        self._per_block = device.block_size // codec.record_size
+
+    @property
+    def device(self) -> SimulatedBlockDevice:
+        return self._device
+
+    @property
+    def elements_per_block(self) -> int:
+        return self._per_block
+
+    def _locate(self, index: int) -> tuple[int, int]:
+        """Map an element index to (block index, byte offset)."""
+        block, slot = divmod(index, self._per_block)
+        return block, slot * self._codec.record_size
+
+    def _decode_at(self, block_data: bytes, offset: int) -> T:
+        return self._codec.decode(block_data[offset : offset + self._codec.record_size])
+
+    def _patch(self, block_data: bytes, offset: int, value: T) -> bytes:
+        record = self._codec.encode(value)
+        return block_data[:offset] + record + block_data[offset + len(record) :]
+
+
+class SampleFile(_BlockStore):
+    """The disk-resident sample: ``M`` elements at fixed positions.
+
+    ``cached_blocks`` models the Fig. 14 experiment where the non-GF
+    algorithms are granted the same amount of main memory as the geometric
+    file's buffer and use it to pin a prefix of the sample: accesses to
+    pinned blocks are free.
+    """
+
+    def __init__(
+        self,
+        device: SimulatedBlockDevice,
+        codec: RecordCodec,
+        size: int,
+        cached_blocks: int = 0,
+    ) -> None:
+        super().__init__(device, codec)
+        if size <= 0:
+            raise ValueError("sample size must be positive")
+        if cached_blocks < 0:
+            raise ValueError("cached_blocks must be non-negative")
+        self._size = size
+        self._cached_blocks = cached_blocks
+        self._last_random_write_block: int | None = None
+        self._last_random_read_block: int | None = None
+
+    @property
+    def size(self) -> int:
+        """Number of sample elements (``M`` in the paper)."""
+        return self._size
+
+    @property
+    def block_count(self) -> int:
+        return -(-self._size // self.elements_per_block)
+
+    @property
+    def cached_blocks(self) -> int:
+        return self._cached_blocks
+
+    def initialize(self, values: Sequence[T]) -> None:
+        """Bulk-load the initial sample with one sequential pass."""
+        if len(values) != self._size:
+            raise ValueError(
+                f"initialize() needs exactly {self._size} values, got {len(values)}"
+            )
+        for block_index in range(self.block_count):
+            start = block_index * self.elements_per_block
+            chunk = values[start : start + self.elements_per_block]
+            data = b"".join(self._codec.encode(v) for v in chunk)
+            data = data.ljust(self._device.block_size, b"\x00")
+            self._charge_write(block_index, data, sequential=True)
+        self._last_random_write_block = None
+
+    # -- random access (immediate refresh, naive candidate refresh) -------
+
+    def write_random(self, index: int, value: T) -> None:
+        """Overwrite one element at a random position: one random write.
+
+        Consecutive writes landing in the same block coalesce into a single
+        charged access (single-block write cache).
+        """
+        self._check_index(index)
+        block, offset = self._locate(index)
+        data = self._patch(self._device.peek_block(block), offset, value)
+        if block == self._last_random_write_block:
+            self._store_free(block, data)
+        else:
+            self._charge_write(block, data, sequential=False)
+            self._last_random_write_block = block
+
+    def read_random(self, index: int) -> T:
+        """Read one element at a random position: one random read."""
+        self._check_index(index)
+        block, offset = self._locate(index)
+        if block == self._last_random_read_block:
+            data = self._device.peek_block(block)
+        else:
+            data = self._device.read_block(block, sequential=False)
+            self._last_random_read_block = block
+        return self._decode_at(data, offset)
+
+    # -- sequential access (deferred refresh write phase, scans) ----------
+
+    def write_sequential(self, items: Iterable[tuple[int, T]]) -> int:
+        """Write ``(index, value)`` pairs with strictly increasing indexes.
+
+        Charges one sequential write per distinct touched block; returns the
+        number of blocks written.  This is the refresh write phase: stable
+        elements are never read, blocks without displaced elements are
+        skipped entirely.
+        """
+        blocks_written = 0
+        current_block = -1
+        current_data: bytes | None = None
+        previous_index = -1
+        for index, value in items:
+            self._check_index(index)
+            if index <= previous_index:
+                raise ValueError(
+                    f"write_sequential() indexes must be strictly increasing "
+                    f"({index} after {previous_index})"
+                )
+            previous_index = index
+            block, offset = self._locate(index)
+            if block != current_block:
+                if current_data is not None:
+                    self._charge_write(current_block, current_data, sequential=True)
+                    blocks_written += 1
+                current_block = block
+                current_data = self._device.peek_block(block)
+            current_data = self._patch(current_data, offset, value)
+        if current_data is not None:
+            self._charge_write(current_block, current_data, sequential=True)
+            blocks_written += 1
+        return blocks_written
+
+    def scan(self) -> Iterator[T]:
+        """Yield every element front to back: one sequential read per block."""
+        emitted = 0
+        for block_index in range(self.block_count):
+            data = self._charge_read(block_index, sequential=True)
+            for slot in range(self.elements_per_block):
+                if emitted >= self._size:
+                    return
+                yield self._decode_at(data, slot * self._codec.record_size)
+                emitted += 1
+
+    def resize(self, new_size: int) -> None:
+        """Shrink the logical sample size (Sec. 5 deletion handling).
+
+        Deletions remove sample members; the refresh then runs "using a
+        potentially smaller sample size".  Only shrinking is allowed -- a
+        sample cannot be grown without access to the base data, which the
+        paper's setting forbids.
+        """
+        if not 0 < new_size <= self._size:
+            raise ValueError(
+                f"resize target must be in (0, {self._size}], got {new_size}"
+            )
+        self._size = new_size
+
+    def peek(self, index: int) -> T:
+        """Read an element without charging I/O (test/verification aid)."""
+        self._check_index(index)
+        block, offset = self._locate(index)
+        return self._decode_at(self._device.peek_block(block), offset)
+
+    def peek_all(self) -> list[T]:
+        """Return all elements without charging I/O (test/verification aid)."""
+        return [self.peek(i) for i in range(self._size)]
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self._size:
+            raise IndexError(f"sample index {index} out of range [0, {self._size})")
+
+    def _charge_write(self, block: int, data: bytes, sequential: bool) -> None:
+        if block < self._cached_blocks:
+            self._store_free(block, data)
+        else:
+            self._device.write_block(block, data, sequential)
+
+    def _charge_read(self, block: int, sequential: bool) -> bytes:
+        if block < self._cached_blocks:
+            return self._device.peek_block(block)
+        return self._device.read_block(block, sequential)
+
+    def _store_free(self, block: int, data: bytes) -> None:
+        """Update block contents without an I/O charge (cache hit)."""
+        self._device.poke_block(block, data)
+
+
+class LogFile(_BlockStore):
+    """Append-only log file, reused (rewound) after every refresh.
+
+    Used for the full log, the candidate log and the update log alike --
+    what differs is only *which* elements the maintenance strategy appends.
+    """
+
+    def __init__(self, device: SimulatedBlockDevice, codec: RecordCodec) -> None:
+        super().__init__(device, codec)
+        self._count = 0
+        self._buffer: list[T] = []
+        self._next_block = 0
+        self._repositioned = True  # first write ever needs a seek
+        self._flushed_partial = False
+
+    def __len__(self) -> int:
+        """Number of elements appended since the last truncation."""
+        return self._count
+
+    @property
+    def block_count(self) -> int:
+        """Blocks the current log occupies, counting the partial tail."""
+        return self._next_block + (1 if self._buffer else 0)
+
+    def append(self, value: T) -> None:
+        """Append one element; charges a write whenever a block fills."""
+        self._buffer.append(value)
+        self._count += 1
+        # The tail block's on-disk image (if any) is stale again.
+        self._flushed_partial = False
+        if len(self._buffer) == self.elements_per_block:
+            self._write_tail_block(self._buffer)
+            self._buffer = []
+            self._next_block += 1
+
+    def extend(self, values: Iterable[T]) -> None:
+        for value in values:
+            self.append(value)
+
+    def flush(self) -> None:
+        """Force the partial tail block to disk (at most one block write).
+
+        Flushing an unchanged tail twice charges once: the paper notes the
+        candidate log "often consists of only a single block, which is the
+        minimum" for short refresh periods.
+        """
+        if self._buffer and not self._flushed_partial:
+            self._write_tail_block(list(self._buffer), partial=True)
+            self._flushed_partial = True
+
+    def reopen(self, element_count: int) -> None:
+        """Re-attach to a log whose blocks already exist on the device.
+
+        Recovery path (see :mod:`repro.storage.superblock`): the checkpoint
+        records how many elements the on-disk log held; reopening reloads
+        the partial tail block into the append buffer (one random read --
+        the recovery seek) so appends continue exactly where they stopped.
+        Only valid on a freshly constructed, empty ``LogFile`` over the
+        original device.
+        """
+        if self._count or self._buffer:
+            raise RuntimeError("reopen() requires a fresh, empty LogFile")
+        if element_count < 0:
+            raise ValueError("element_count must be non-negative")
+        self._count = element_count
+        self._next_block, tail = divmod(element_count, self.elements_per_block)
+        if tail:
+            data = self._device.read_block(self._next_block, sequential=False)
+            self._buffer = [
+                self._decode_at(data, slot * self._codec.record_size)
+                for slot in range(tail)
+            ]
+            self._flushed_partial = True
+        # Continuing the same generation: no rewind seek on the next write
+        # (an empty generation still owes its initial seek).
+        self._repositioned = element_count == 0
+
+    def truncate(self) -> None:
+        """Reset the log for reuse; the next write will pay a seek."""
+        self._device.discard_from(0)
+        self._count = 0
+        self._buffer = []
+        self._next_block = 0
+        self._repositioned = True
+        self._flushed_partial = False
+
+    def scan_all(self) -> list[T]:
+        """Read the whole log: one sequential read per block."""
+        self.flush()
+        values: list[T] = []
+        for block_index in range(self.block_count):
+            data = self._device.read_block(block_index, sequential=True)
+            remaining = self._count - len(values)
+            for slot in range(min(self.elements_per_block, remaining)):
+                values.append(self._decode_at(data, slot * self._codec.record_size))
+        return values
+
+    def read_indexed_sorted(self, indices: Sequence[int]) -> list[T]:
+        """Read elements at ascending positions; one seq read per distinct block.
+
+        This is how the refresh algorithms touch the log: forward-only, and
+        only the blocks that contain final candidates.
+        """
+        self.flush()
+        values: list[T] = []
+        current_block = -1
+        data = b""
+        previous = -1
+        for index in indices:
+            if not 0 <= index < self._count:
+                raise IndexError(f"log index {index} out of range [0, {self._count})")
+            if index <= previous:
+                raise ValueError(
+                    f"read_indexed_sorted() indexes must be strictly increasing "
+                    f"({index} after {previous})"
+                )
+            previous = index
+            block, offset = self._locate(index)
+            if block != current_block:
+                data = self._device.read_block(block, sequential=True)
+                current_block = block
+            values.append(self._decode_at(data, offset))
+        return values
+
+    def open_sequential_reader(self) -> "SequentialLogReader":
+        """Return a forward-only reader charging one seq read per new block.
+
+        Stack and Nomem Refresh interleave log reads with sample writes;
+        this reader lets them do that one candidate at a time while keeping
+        the block-level accounting identical to a batched
+        :meth:`read_indexed_sorted`.
+        """
+        self.flush()
+        return SequentialLogReader(self)
+
+    def read_one_random(self, index: int) -> T:
+        """Read one element by random access: one random read.
+
+        Only the *unsorted* Array Refresh variant (the ablation of the
+        optional sort in Sec. 4.1) uses this path.
+        """
+        self.flush()
+        if not 0 <= index < self._count:
+            raise IndexError(f"log index {index} out of range [0, {self._count})")
+        block, offset = self._locate(index)
+        data = self._device.read_block(block, sequential=False)
+        return self._decode_at(data, offset)
+
+    def peek(self, index: int) -> T:
+        """Read one element without charging I/O (test/verification aid)."""
+        if not 0 <= index < self._count:
+            raise IndexError(f"log index {index} out of range [0, {self._count})")
+        block, offset = self._locate(index)
+        in_buffer_from = self._next_block * self.elements_per_block
+        if index >= in_buffer_from:
+            return self._buffer[index - in_buffer_from]
+        return self._decode_at(self._device.peek_block(block), offset)
+
+    def peek_all(self) -> list[T]:
+        return [self.peek(i) for i in range(self._count)]
+
+    # -- internals ---------------------------------------------------------
+
+    def _read_block_charged(self, block: int) -> bytes:
+        return self._device.read_block(block, sequential=True)
+
+    def _write_tail_block(self, values: Sequence[T], partial: bool = False) -> None:
+        data = b"".join(self._codec.encode(v) for v in values)
+        data = data.ljust(self._device.block_size, b"\x00")
+        sequential = not self._repositioned
+        self._device.write_block(self._next_block, data, sequential)
+        self._repositioned = False
+        if partial:
+            # Tail stays addressable at the same block; later fills rewrite it.
+            return
+
+
+class SequentialLogReader:
+    """Forward-only element reader over a :class:`LogFile`.
+
+    Indexes must be strictly increasing across calls; each *new* block
+    touched charges one sequential read.
+    """
+
+    __slots__ = ("_log", "_current_block", "_data", "_previous")
+
+    def __init__(self, log: LogFile) -> None:
+        self._log = log
+        self._current_block = -1
+        self._data = b""
+        self._previous = -1
+
+    def read(self, index: int) -> T:
+        if not 0 <= index < len(self._log):
+            raise IndexError(f"log index {index} out of range [0, {len(self._log)})")
+        if index <= self._previous:
+            raise ValueError(
+                f"sequential reader requires strictly increasing indexes "
+                f"({index} after {self._previous})"
+            )
+        self._previous = index
+        block, offset = self._log._locate(index)
+        if block != self._current_block:
+            self._data = self._log._read_block_charged(block)
+            self._current_block = block
+        return self._log._decode_at(self._data, offset)

@@ -1,0 +1,216 @@
+"""Durable maintenance checkpoints (superblock).
+
+One of the paper's arguments against the geometric file is crash safety:
+the GF keeps part of the sample in a randomly-accessed memory buffer that
+"cannot be serialized to disk without losing performance", so a failure
+loses sample state (Sec. 6.5).  The candidate-log design has no such
+problem -- the log and the sample are both on disk -- *provided* the small
+amount of maintenance state (dataset size, log length, PRNG state) is also
+durable.  This module makes it so:
+
+* :class:`MaintenanceCheckpoint` -- the complete resumable state of a
+  :class:`~repro.core.maintenance.SampleMaintainer`, including the full
+  MT19937 state so that maintenance resumed from a checkpoint makes
+  *bit-identical* decisions to an uninterrupted run (the same property
+  Nomem Refresh exploits, applied to durability);
+* :class:`CheckpointStore` -- serialises a checkpoint into a single
+  4 096-byte superblock on a block device (one random write to save, one
+  random read to load).
+
+Everything fits one block: MT19937 state is 624 words (~2.5 kB), the rest
+a few integers.  Recovery semantics are write-ahead-log style: a
+checkpoint captures the state *as of its moment*; elements inserted after
+it must be replayed by the upstream source, and -- because the PRNG state
+is restored exactly -- the replay reproduces the original acceptance
+decisions verbatim.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.rng.mt19937 import MTState
+from repro.rng.random_source import RandomSource
+
+__all__ = ["MaintenanceCheckpoint", "CheckpointStore", "CheckpointError"]
+
+_MAGIC = b"RSMP"
+_VERSION = 2
+_STRATEGIES = ("immediate", "candidate", "full")
+
+# magic(4) version(H) strategy(B) flags(B) sample_size(q) dataset_size(q)
+# dataset_at_refresh(q) log_count(q) inserts(q) refreshes(q)
+# pending_accept(q) ops_since_refresh(q) seed(Q) spawn_count(I) w(d)
+# mt_position(i) crc(I) + 624 mt words
+_HEADER = struct.Struct("<4sHBBqqqqqqqqQIdi")
+_MT_WORDS = struct.Struct("<624I")
+_CRC = struct.Struct("<I")
+_FLAG_HAS_W = 1
+
+
+class CheckpointError(RuntimeError):
+    """Raised when a superblock is missing, corrupt, or incompatible."""
+
+
+@dataclass(frozen=True)
+class MaintenanceCheckpoint:
+    """Everything needed to resume maintenance exactly where it stopped."""
+
+    strategy: str
+    sample_size: int
+    dataset_size: int
+    dataset_size_at_refresh: int
+    log_count: int
+    inserts: int
+    refreshes: int
+    #: the reservoir's precomputed next-acceptance position (skip-based
+    #: acceptance keeps one pending draw); None when not yet determined
+    pending_accept: int | None
+    ops_since_refresh: int
+    rng_seed: int
+    rng_spawn_count: int
+    rng_state: MTState
+    rng_w: float | None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in _STRATEGIES:
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        for name in (
+            "sample_size", "dataset_size", "dataset_size_at_refresh",
+            "log_count", "inserts", "refreshes", "rng_spawn_count",
+            "ops_since_refresh",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_bytes(self, block_size: int = 4096) -> bytes:
+        """Encode into exactly one zero-padded block, CRC-protected."""
+        flags = _FLAG_HAS_W if self.rng_w is not None else 0
+        header = _HEADER.pack(
+            _MAGIC,
+            _VERSION,
+            _STRATEGIES.index(self.strategy),
+            flags,
+            self.sample_size,
+            self.dataset_size,
+            self.dataset_size_at_refresh,
+            self.log_count,
+            self.inserts,
+            self.refreshes,
+            self.pending_accept if self.pending_accept is not None else -1,
+            self.ops_since_refresh,
+            self.rng_seed & 0xFFFFFFFFFFFFFFFF,
+            self.rng_spawn_count,
+            self.rng_w if self.rng_w is not None else 0.0,
+            self.rng_state.position,
+        )
+        body = header + _MT_WORDS.pack(*self.rng_state.key)
+        payload = body + _CRC.pack(zlib.crc32(body))
+        if len(payload) > block_size:
+            raise ValueError(
+                f"checkpoint needs {len(payload)} bytes; block is {block_size}"
+            )
+        return payload.ljust(block_size, b"\x00")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MaintenanceCheckpoint":
+        if len(data) < _HEADER.size + _MT_WORDS.size + _CRC.size:
+            raise CheckpointError("superblock too short")
+        body_len = _HEADER.size + _MT_WORDS.size
+        body = data[:body_len]
+        (stored_crc,) = _CRC.unpack_from(data, body_len)
+        if stored_crc != zlib.crc32(body):
+            raise CheckpointError("superblock CRC mismatch (corrupt or torn write)")
+        (
+            magic, version, strategy_idx, flags,
+            sample_size, dataset_size, dataset_at_refresh, log_count,
+            inserts, refreshes, pending_accept, ops_since_refresh,
+            seed, spawn_count, w, position,
+        ) = _HEADER.unpack_from(body)
+        if magic != _MAGIC:
+            raise CheckpointError(f"bad superblock magic {magic!r}")
+        if version != _VERSION:
+            raise CheckpointError(
+                f"superblock version {version} unsupported (expected {_VERSION})"
+            )
+        if not 0 <= strategy_idx < len(_STRATEGIES):
+            raise CheckpointError(f"invalid strategy index {strategy_idx}")
+        key = _MT_WORDS.unpack_from(body, _HEADER.size)
+        return cls(
+            strategy=_STRATEGIES[strategy_idx],
+            sample_size=sample_size,
+            dataset_size=dataset_size,
+            dataset_size_at_refresh=dataset_at_refresh,
+            log_count=log_count,
+            inserts=inserts,
+            refreshes=refreshes,
+            pending_accept=pending_accept if pending_accept >= 0 else None,
+            ops_since_refresh=ops_since_refresh,
+            rng_seed=seed,
+            rng_spawn_count=spawn_count,
+            rng_state=MTState(key=key, position=position),
+            rng_w=w if (flags & _FLAG_HAS_W) else None,
+        )
+
+    # -- RNG reconstruction ----------------------------------------------------
+
+    def restore_rng(self) -> RandomSource:
+        """Rebuild the maintainer's RandomSource exactly as checkpointed.
+
+        Restores the generator state, the Algorithm-Z auxiliary variable
+        *and* the spawn counter, so child streams derived after recovery
+        match the ones an uninterrupted run would derive.
+        """
+        rng = RandomSource.__new__(RandomSource)
+        rng._seed = self.rng_seed
+        from repro.rng.mt19937 import MT19937
+
+        generator = MT19937.__new__(MT19937)
+        generator.setstate(self.rng_state)
+        rng._gen = generator
+        rng._spawn_count = self.rng_spawn_count
+        rng._w = self.rng_w
+        return rng
+
+    @staticmethod
+    def capture_rng(rng: RandomSource) -> tuple[int, int, MTState, float | None]:
+        """Extract the serialisable RNG fields from a live source."""
+        state, w = rng.snapshot()
+        return rng.seed, rng._spawn_count, state, w
+
+
+class CheckpointStore:
+    """Persists one checkpoint in a superblock on a block device.
+
+    ``block_index`` defaults to 0 -- give the store its own small device
+    (or reserve the first block of an existing one).
+    """
+
+    def __init__(self, device, block_index: int = 0) -> None:
+        if block_index < 0:
+            raise ValueError("block_index must be non-negative")
+        self._device = device
+        self._block_index = block_index
+
+    def save(self, checkpoint: MaintenanceCheckpoint) -> None:
+        """Write the superblock: one random block write."""
+        data = checkpoint.to_bytes(self._device.block_size)
+        self._device.write_block(self._block_index, data, sequential=False)
+
+    def load(self) -> MaintenanceCheckpoint:
+        """Read and validate the superblock: one random block read."""
+        data = self._device.read_block(self._block_index, sequential=False)
+        return MaintenanceCheckpoint.from_bytes(data)
+
+    def exists(self) -> bool:
+        """True if the superblock location holds a valid checkpoint."""
+        data = self._device.peek_block(self._block_index)
+        try:
+            MaintenanceCheckpoint.from_bytes(data)
+        except CheckpointError:
+            return False
+        return True

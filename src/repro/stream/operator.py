@@ -1,0 +1,61 @@
+"""Stream sampling operator: cheap online path, out-of-band refresh.
+
+Wraps a :class:`~repro.core.maintenance.SampleMaintainer` as a stream
+operator.  ``process()`` is the per-tuple online path a DSMS would run
+inside its operator pipeline; ``refresh_due()`` and ``refresh()`` expose
+the offline path so an independent refresher (or a quiet period) can run
+it -- the decoupling the paper's online/offline cost split models.
+"""
+
+from __future__ import annotations
+
+from repro.core.maintenance import SampleMaintainer
+from repro.core.refresh.base import RefreshResult
+
+__all__ = ["StreamSampleOperator"]
+
+
+class StreamSampleOperator:
+    """Per-tuple sampling operator over a maintainer with a manual policy.
+
+    ``refresh_interval`` is the number of stream tuples between refreshes;
+    the operator never refreshes inside :meth:`process` -- it only reports
+    that a refresh is due, so the caller controls when offline work runs.
+    """
+
+    def __init__(self, maintainer: SampleMaintainer, refresh_interval: int) -> None:
+        if refresh_interval <= 0:
+            raise ValueError("refresh_interval must be positive")
+        self._maintainer = maintainer
+        self._interval = refresh_interval
+        self._since_refresh = 0
+        self.tuples_processed = 0
+        self.refreshes = 0
+
+    @property
+    def maintainer(self) -> SampleMaintainer:
+        return self._maintainer
+
+    def process(self, element) -> None:
+        """Online path: log-phase work only."""
+        self._maintainer.insert(element)
+        self.tuples_processed += 1
+        self._since_refresh += 1
+
+    def process_many(self, elements) -> int:
+        """Process a batch; returns how many tuples were consumed."""
+        consumed = 0
+        for element in elements:
+            self.process(element)
+            consumed += 1
+        return consumed
+
+    def refresh_due(self) -> bool:
+        return self._since_refresh >= self._interval
+
+    def refresh(self) -> RefreshResult | None:
+        """Offline path; runnable from an independent thread of control."""
+        result = self._maintainer.refresh()
+        self._since_refresh = 0
+        self.refreshes += 1
+        return result

@@ -1,0 +1,105 @@
+"""Uniformity test machinery, cross-checked against scipy."""
+
+import math
+
+import pytest
+from scipy import stats
+
+from repro.analysis.uniformity import (
+    chi_square_statistic,
+    chi_square_survival,
+    chi_square_uniform_pvalue,
+    inclusion_counts,
+    kolmogorov_smirnov_uniform,
+)
+from repro.rng.random_source import RandomSource
+
+
+class TestChiSquare:
+    def test_statistic_matches_scipy(self):
+        observed = [12, 8, 11, 9, 10]
+        expected = [10.0] * 5
+        ours = chi_square_statistic(observed, expected)
+        theirs = stats.chisquare(observed).statistic
+        assert ours == pytest.approx(theirs)
+
+    def test_survival_matches_scipy_over_range(self):
+        for dof in (5, 50, 200, 500):
+            for x in (dof * 0.5, dof, dof * 1.5, dof * 2.0):
+                ours = chi_square_survival(x, dof)
+                theirs = stats.chi2.sf(x, dof)
+                assert ours == pytest.approx(theirs, abs=5e-3), (x, dof)
+
+    def test_survival_edges(self):
+        assert chi_square_survival(0.0, 10) == 1.0
+        assert chi_square_survival(1e9, 10) < 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_statistic([1], [1, 2])
+        with pytest.raises(ValueError):
+            chi_square_statistic([], [])
+        with pytest.raises(ValueError):
+            chi_square_statistic([1], [0])
+        with pytest.raises(ValueError):
+            chi_square_survival(-1, 10)
+        with pytest.raises(ValueError):
+            chi_square_survival(1, 0)
+
+
+class TestInclusionCounts:
+    def test_counts_elements(self):
+        samples = [[0, 1], [1, 2], [2, 2]]
+        assert inclusion_counts(samples, universe=4) == [1, 2, 3, 0]
+
+    def test_rejects_out_of_universe(self):
+        with pytest.raises(ValueError):
+            inclusion_counts([[5]], universe=3)
+
+
+class TestUniformPvalue:
+    def test_uniform_counts_pass(self):
+        rng = RandomSource(seed=1)
+        universe, trials, m = 50, 400, 10
+        samples = []
+        for _ in range(trials):
+            # Truly uniform m-subsets.
+            items = list(range(universe))
+            rng.shuffle(items)
+            samples.append(items[:m])
+        counts = inclusion_counts(samples, universe)
+        p = chi_square_uniform_pvalue(counts, trials * m)
+        assert p > 1e-3
+
+    def test_biased_counts_fail(self):
+        universe, trials, m = 50, 400, 10
+        biased = [[v % 25 for v in range(m)] for _ in range(trials)]
+        counts = inclusion_counts(biased, universe)
+        p = chi_square_uniform_pvalue(counts, trials * m)
+        assert p < 1e-6
+
+    def test_requires_two_cells(self):
+        with pytest.raises(ValueError):
+            chi_square_uniform_pvalue([5], 5)
+
+
+class TestKolmogorovSmirnov:
+    def test_matches_scipy_on_uniform_data(self):
+        rng = RandomSource(seed=2)
+        values = [rng.random() for _ in range(500)]
+        d_ours, p_ours = kolmogorov_smirnov_uniform(values)
+        result = stats.kstest(values, "uniform")
+        assert d_ours == pytest.approx(result.statistic, abs=1e-12)
+        assert p_ours == pytest.approx(result.pvalue, abs=0.02)
+
+    def test_detects_non_uniform(self):
+        values = [0.5 + 0.4 * math.sin(i) * 0 for i in range(100)]  # all 0.5
+        d, p = kolmogorov_smirnov_uniform(values)
+        assert d >= 0.5
+        assert p < 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kolmogorov_smirnov_uniform([])
+        with pytest.raises(ValueError):
+            kolmogorov_smirnov_uniform([1.5])

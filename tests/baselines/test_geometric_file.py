@@ -1,0 +1,142 @@
+"""Geometric File reconstruction."""
+
+import pytest
+from scipy import stats
+
+from repro.baselines.geometric_file import GeometricFile, GeometricFileParameters
+from repro.core.refresh.math import expected_candidates_exact
+from repro.rng.random_source import RandomSource
+from repro.storage.cost_model import CostModel
+
+
+def make(sample_size=100, buffer_capacity=10, seed=1, **kwargs):
+    rng = RandomSource(seed=seed)
+    cost = CostModel()
+    gf = GeometricFile(
+        sample_size=sample_size,
+        buffer_capacity=buffer_capacity,
+        rng=rng,
+        cost_model=cost,
+        initial_sample=list(range(sample_size)),
+        initial_dataset_size=sample_size,
+        **kwargs,
+    )
+    return gf, cost
+
+
+class TestInvariants:
+    def test_membership_is_always_m(self):
+        gf, _ = make()
+        for batch_end in (200, 500, 1500):
+            gf.insert_many(range(gf.dataset_size, batch_end))
+            assert len(gf.members()) == 100
+
+    def test_members_are_distinct_dataset_elements(self):
+        gf, _ = make()
+        gf.insert_many(range(100, 2000))
+        members = gf.members()
+        assert len(set(members)) == 100
+        assert all(0 <= m < 2000 for m in members)
+
+    def test_buffer_bounded_by_capacity(self):
+        gf, _ = make(buffer_capacity=7)
+        for v in range(100, 3000):
+            gf.insert(v)
+            assert gf.buffered < 7
+
+    def test_acceptance_matches_reservoir_law(self):
+        gf, _ = make(sample_size=50)
+        accepted = sum(gf.insert(v) for v in range(50, 1050))
+        expected = expected_candidates_exact(50, 50, 1000)
+        assert abs(accepted - expected) < 5 * expected**0.5
+
+    def test_flush_cadence(self):
+        gf, _ = make(buffer_capacity=10)
+        gf.insert_many(range(100, 1100))
+        # Buffer grows ~1 per candidate whose victim is on disk (almost all
+        # of them here): flushes ~ candidates / 10.
+        candidates = expected_candidates_exact(100, 100, 1000)
+        assert gf.flushes == pytest.approx(candidates / 10, abs=6)
+
+
+class TestCostCharges:
+    def test_flush_charges_match_mechanics(self):
+        params = GeometricFileParameters(boundary_ios=2, min_segment=50)
+        gf, cost = make(buffer_capacity=10, parameters=params)
+        baseline = cost.checkpoint()
+        gf._buffer = list(range(10))  # force a known flush
+        gf._disk = gf._disk[:90]
+        gf.flush()
+        delta = cost.since(baseline)
+        segments = gf.segment_count  # 100 / max(10, 50) = 2
+        assert segments == 2
+        assert delta.seq_writes == 1  # 10 elements, one block
+        assert delta.random_writes == 1 + segments * 2
+        assert delta.random_reads == segments * 2
+
+    def test_empty_flush_is_free(self):
+        gf, cost = make()
+        mark = cost.checkpoint()
+        gf.flush()
+        assert cost.since(mark).total_accesses == 0
+
+    def test_initialisation_charges_sequential_write(self):
+        _, cost = make(sample_size=300)
+        assert cost.stats.seq_writes == 3
+
+
+class TestCallbacksAndValidation:
+    def test_on_flush_callback_fires(self):
+        events = []
+        rng = RandomSource(seed=3)
+        gf = GeometricFile(
+            sample_size=100, buffer_capacity=5, rng=rng,
+            cost_model=CostModel(), on_flush=lambda g: events.append(g.flushes),
+        )
+        gf.insert_many(range(100, 800))
+        assert events == list(range(1, gf.flushes + 1))
+
+    def test_validation(self):
+        rng = RandomSource(seed=4)
+        cost = CostModel()
+        with pytest.raises(ValueError):
+            GeometricFile(0, 1, rng, cost)
+        with pytest.raises(ValueError):
+            GeometricFile(10, 0, rng, cost)
+        with pytest.raises(ValueError):
+            GeometricFile(10, 11, rng, cost)
+        with pytest.raises(ValueError):
+            GeometricFile(10, 5, rng, cost, initial_sample=[1, 2, 3])
+        with pytest.raises(ValueError):
+            GeometricFile(10, 5, rng, cost, initial_dataset_size=5)
+        with pytest.raises(ValueError):
+            GeometricFileParameters(boundary_ios=0)
+        with pytest.raises(ValueError):
+            GeometricFileParameters(min_segment=0)
+
+    def test_memory_tracks_buffer_elements(self):
+        gf, _ = make(buffer_capacity=20)
+        gf.insert_many(range(100, 2000))
+        assert gf.memory.element_bytes > 0
+        assert gf.memory.element_bytes <= 20 * 32
+
+
+class TestUniformity:
+    def test_inclusion_uniform(self):
+        # The GF is a correct reservoir maintainer: inclusion must be M/N.
+        m, inserts, trials = 10, 70, 2500
+        universe = m + inserts
+        counts = [0] * universe
+        for seed in range(trials):
+            rng = RandomSource(seed=seed)
+            gf = GeometricFile(
+                sample_size=m, buffer_capacity=3, rng=rng,
+                cost_model=CostModel(),
+                initial_sample=list(range(m)),
+            )
+            gf.insert_many(range(m, universe))
+            for member in gf.members():
+                counts[member] += 1
+        expected = trials * m / universe
+        chi2 = sum((c - expected) ** 2 / expected for c in counts)
+        assert stats.chi2.sf(chi2, df=universe - 1) > 1e-4

@@ -1,0 +1,99 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.maintenance import SampleMaintainer
+from repro.core.policies import ManualPolicy
+from repro.core.reservoir import build_reservoir
+from repro.rng.random_source import RandomSource
+from repro.storage.block_device import SimulatedBlockDevice
+from repro.storage.cost_model import CostModel
+from repro.storage.files import LogFile, SampleFile
+from repro.storage.records import IntRecordCodec
+
+
+@pytest.fixture
+def cost_model() -> CostModel:
+    return CostModel()
+
+
+@pytest.fixture
+def codec() -> IntRecordCodec:
+    return IntRecordCodec()
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    return RandomSource(seed=0xC0FFEE)
+
+
+def make_sample(
+    cost_model: CostModel,
+    size: int,
+    initial_dataset: int,
+    rng: RandomSource,
+    name: str = "sample",
+) -> tuple[SampleFile, int]:
+    """Build an initialised on-disk sample of ``size`` from ``initial_dataset`` ints."""
+    codec = IntRecordCodec()
+    sample = SampleFile(SimulatedBlockDevice(cost_model, name), codec, size)
+    initial, seen = build_reservoir(range(initial_dataset), size, rng)
+    sample.initialize(initial)
+    return sample, seen
+
+
+def make_maintainer(
+    strategy: str,
+    algorithm,
+    seed: int = 1,
+    sample_size: int = 50,
+    initial_dataset: int = 200,
+    policy=None,
+) -> tuple[SampleMaintainer, SampleFile, CostModel]:
+    """One-stop maintainer for end-to-end tests."""
+    rng = RandomSource(seed=seed)
+    cost = CostModel()
+    sample, seen = make_sample(cost, sample_size, initial_dataset, rng)
+    log = LogFile(SimulatedBlockDevice(cost, "log"), IntRecordCodec())
+    maintainer = SampleMaintainer(
+        sample,
+        rng,
+        strategy=strategy,
+        initial_dataset_size=seen,
+        log=log,
+        algorithm=algorithm,
+        policy=policy if policy is not None else ManualPolicy(),
+        cost_model=cost,
+    )
+    return maintainer, sample, cost
+
+
+def run_maintenance_trial(
+    algorithm_factory,
+    strategy: str,
+    seed: int,
+    sample_size: int = 20,
+    initial_dataset: int = 40,
+    inserts: int = 160,
+    refreshes_at: tuple[int, ...] = (40, 80, 120, 160),
+) -> list[int]:
+    """Run one maintenance trial and return the final sample contents."""
+    algorithm = algorithm_factory() if callable(algorithm_factory) else algorithm_factory
+    maintainer, sample, _ = make_maintainer(
+        strategy, algorithm, seed=seed,
+        sample_size=sample_size, initial_dataset=initial_dataset,
+    )
+    next_refresh = iter(refreshes_at)
+    boundary = next(next_refresh, None)
+    for i, value in enumerate(
+        range(initial_dataset, initial_dataset + inserts), start=1
+    ):
+        maintainer.insert(value)
+        if boundary is not None and i == boundary:
+            maintainer.refresh()
+            boundary = next(next_refresh, None)
+    if maintainer.pending_log_elements:
+        maintainer.refresh()
+    return sample.peek_all()

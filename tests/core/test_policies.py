@@ -1,0 +1,45 @@
+"""Refresh policies."""
+
+import pytest
+
+from repro.core.policies import ManualPolicy, PeriodicPolicy, ThresholdPolicy
+
+
+class TestPeriodicPolicy:
+    def test_triggers_at_period(self):
+        policy = PeriodicPolicy(10)
+        assert not policy.should_refresh(9, 100)
+        assert policy.should_refresh(10, 0)
+        assert policy.should_refresh(11, 0)
+
+    def test_rejects_non_positive_period(self):
+        with pytest.raises(ValueError):
+            PeriodicPolicy(0)
+
+    def test_repr(self):
+        assert "10" in repr(PeriodicPolicy(10))
+
+
+class TestThresholdPolicy:
+    def test_triggers_on_log_size(self):
+        policy = ThresholdPolicy(5)
+        assert not policy.should_refresh(1000, 4)
+        assert policy.should_refresh(0, 5)
+
+    def test_rejects_non_positive_threshold(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(0)
+
+    def test_repr(self):
+        assert "5" in repr(ThresholdPolicy(5))
+
+
+class TestManualPolicy:
+    def test_never_triggers(self):
+        policy = ManualPolicy()
+        assert not policy.should_refresh(10**9, 10**9)
+
+    def test_notify_is_noop(self):
+        ManualPolicy().notify_refresh()
+        PeriodicPolicy(1).notify_refresh()
+        ThresholdPolicy(1).notify_refresh()

@@ -1,0 +1,101 @@
+"""Cross-algorithm guarantees (Sec. 6.3-6.4).
+
+"Note that Array, Stack and Nomem Refresh have equal I/O cost" -- the
+three deferred algorithms perform the same disk work in distribution and
+produce equally uniform samples; they differ only in memory and CPU.
+"""
+
+import pytest
+from scipy import stats
+
+from repro.core.refresh.array import ArrayRefresh
+from repro.core.refresh.naive import NaiveCandidateRefresh
+from repro.core.refresh.nomem import NomemRefresh
+from repro.core.refresh.stack import StackRefresh
+from tests.conftest import run_maintenance_trial
+
+ALGORITHMS = [ArrayRefresh, StackRefresh, NomemRefresh]
+
+
+class TestEqualIO:
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    def test_io_volume_matches_displaced_blocks(self, harness_factory, algorithm_cls):
+        # Per refresh: seq reads <= log blocks, seq writes <= sample
+        # blocks, both bounded by Psi; and no random I/O at all.
+        harness = harness_factory(sample_size=128 * 4, candidates=600, seed=7)
+        result = harness.run(algorithm_cls())
+        stats_ = harness.refresh_stats
+        assert stats_.random_reads == 0
+        assert stats_.random_writes == 0
+        assert stats_.seq_reads <= -(-600 // 128)
+        # Sample blocks (4) plus the log's partial-tail flush (1).
+        assert stats_.seq_writes <= 4 + 1
+        assert stats_.seq_writes <= result.displaced
+        assert stats_.seq_reads <= result.displaced
+
+    def test_mean_io_equal_across_algorithms(self, harness_factory):
+        m, c, trials = 128 * 2, 300, 150
+        means = {}
+        for algorithm_cls in ALGORITHMS:
+            reads = writes = 0
+            for seed in range(trials):
+                harness = harness_factory(sample_size=m, candidates=c, seed=seed)
+                harness.run(algorithm_cls())
+                reads += harness.refresh_stats.seq_reads
+                writes += harness.refresh_stats.seq_writes
+            means[algorithm_cls.__name__] = (reads / trials, writes / trials)
+        baseline = means["ArrayRefresh"]
+        for name, (reads, writes) in means.items():
+            assert reads == pytest.approx(baseline[0], abs=0.25), name
+            assert writes == pytest.approx(baseline[1], abs=0.25), name
+
+    def test_deferred_beats_naive_candidate_on_cost(self, harness_factory):
+        # The whole point of Sec. 4: same input, far cheaper I/O.
+        m, c = 128 * 8, 800
+        harness_naive = harness_factory(sample_size=m, candidates=c, seed=3)
+        harness_naive.run(NaiveCandidateRefresh())
+        harness_stack = harness_factory(sample_size=m, candidates=c, seed=3)
+        harness_stack.run(StackRefresh())
+        naive_cost = harness_naive.refresh_stats.cost_seconds()
+        stack_cost = harness_stack.refresh_stats.cost_seconds()
+        assert stack_cost < naive_cost / 20
+
+
+class TestEndToEndUniformity:
+    """Full maintenance runs must leave every dataset element equally likely
+    to be sampled, whichever algorithm refreshed the sample."""
+
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS + [NaiveCandidateRefresh])
+    def test_inclusion_uniform_over_whole_dataset(self, algorithm_cls):
+        m, r0, inserts, trials = 15, 30, 120, 1500
+        universe = r0 + inserts
+        counts = [0] * universe
+        for seed in range(trials):
+            final = run_maintenance_trial(
+                algorithm_cls, "candidate", seed=seed,
+                sample_size=m, initial_dataset=r0, inserts=inserts,
+                refreshes_at=(30, 60, 90, 120),
+            )
+            for value in final:
+                counts[value] += 1
+        expected = trials * m / universe
+        chi2 = sum((c - expected) ** 2 / expected for c in counts)
+        assert stats.chi2.sf(chi2, df=universe - 1) > 1e-4, algorithm_cls.__name__
+
+    @pytest.mark.parametrize("algorithm_cls", [StackRefresh, NomemRefresh])
+    def test_full_log_strategy_is_also_uniform(self, algorithm_cls):
+        # The Sec. 5 adapter must preserve uniformity too.
+        m, r0, inserts, trials = 12, 24, 96, 1500
+        universe = r0 + inserts
+        counts = [0] * universe
+        for seed in range(trials):
+            final = run_maintenance_trial(
+                algorithm_cls, "full", seed=seed,
+                sample_size=m, initial_dataset=r0, inserts=inserts,
+                refreshes_at=(24, 48, 72, 96),
+            )
+            for value in final:
+                counts[value] += 1
+        expected = trials * m / universe
+        chi2 = sum((c - expected) ** 2 / expected for c in counts)
+        assert stats.chi2.sf(chi2, df=universe - 1) > 1e-4, algorithm_cls.__name__

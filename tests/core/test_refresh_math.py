@@ -1,0 +1,124 @@
+"""Closed-form quantities from Sections 3-4, including the paper's example."""
+
+import math
+
+import pytest
+
+from repro.core.refresh.math import (
+    displacement_probability,
+    expected_candidates,
+    expected_candidates_exact,
+    expected_displaced,
+    stack_selection_probability,
+    stack_write_probability,
+)
+
+
+class TestPaperWorkedExample:
+    """Sec. 4.1 computes its running example explicitly: M=5, |C|=11."""
+
+    def test_displacement_probability_is_91_percent(self):
+        assert displacement_probability(5, 11) == pytest.approx(0.9141, abs=5e-4)
+
+    def test_expected_displaced_is_4_57(self):
+        assert expected_displaced(5, 11) == pytest.approx(4.57, abs=5e-3)
+
+    def test_candidate_log_expectation_for_figure_1(self):
+        # Fig. 1: M=5 sample over a dataset growing from 5 to 50: the
+        # example shows 11 candidates out of 45 insertions.
+        expected = expected_candidates_exact(5, 5, 45)
+        assert expected == pytest.approx(
+            sum(5 / (5 + i) for i in range(1, 46))
+        )
+        assert 9 < expected < 13  # the example's 11 is a typical draw
+
+
+class TestExpectedCandidates:
+    def test_exact_matches_direct_sum(self):
+        for m, r0, n in ((10, 100, 57), (3, 3, 1000), (64, 128, 4096)):
+            direct = sum(m / (r0 + i) for i in range(1, n + 1))
+            assert expected_candidates_exact(m, r0, n) == pytest.approx(
+                direct, rel=1e-9
+            )
+
+    def test_log_approximation_close_for_large_datasets(self):
+        approx = expected_candidates(1000, 1_000_000, 10_000_000)
+        exact = expected_candidates_exact(1000, 1_000_000, 10_000_000)
+        assert approx == pytest.approx(exact, rel=1e-3)
+
+    def test_paper_scale_value(self):
+        # M=1M, |R|=1M, n=100M: E(|C|) = M ln(101) ~ 4.6M -- the reason
+        # candidate logging beats full logging by orders of magnitude.
+        expected = expected_candidates(1_000_000, 1_000_000, 100_000_000)
+        assert expected == pytest.approx(1_000_000 * math.log(101), rel=1e-12)
+        assert 4.5e6 < expected < 4.7e6
+
+    def test_decreases_with_dataset_size(self):
+        # "E(|C|) decreases as |R| increases" (Sec. 3.2).
+        small = expected_candidates_exact(100, 1_000, 1000)
+        large = expected_candidates_exact(100, 100_000, 1000)
+        assert large < small
+
+    def test_zero_inserts(self):
+        assert expected_candidates_exact(10, 100, 0) == 0.0
+        assert expected_candidates(10, 100, 0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_candidates(0, 10, 5)
+        with pytest.raises(ValueError):
+            expected_candidates(10, 5, 5)
+        with pytest.raises(ValueError):
+            expected_candidates_exact(10, 100, -1)
+
+
+class TestDisplacement:
+    def test_bounds(self):
+        # Psi <= min(M, |C|) in expectation too.
+        for m, c in ((5, 11), (100, 3), (100, 10_000)):
+            value = expected_displaced(m, c)
+            assert 0 <= value <= min(m, c) + 1e-9
+
+    def test_monotone_in_candidates(self):
+        values = [expected_displaced(50, c) for c in range(0, 500, 25)]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+
+    def test_single_candidate_displaces_one(self):
+        assert expected_displaced(100, 1) == pytest.approx(1.0)
+
+    def test_saturates_at_sample_size(self):
+        assert expected_displaced(10, 10_000) == pytest.approx(10.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            displacement_probability(0, 5)
+        with pytest.raises(ValueError):
+            displacement_probability(5, -1)
+
+
+class TestStackProbabilities:
+    def test_selection_probability_sequence(self):
+        # p_k = (M-k)/M: 4/5, 3/5, 2/5, 1/5 for M=5 (the Fig. 4 table).
+        assert [
+            stack_selection_probability(5, k) for k in range(1, 5)
+        ] == pytest.approx([4 / 5, 3 / 5, 2 / 5, 1 / 5])
+
+    def test_write_probability_sequence(self):
+        # Fig. 4's write phase: q = 4/5, 3/4, 2/3, 1/2, 1 for the example.
+        values = [
+            stack_write_probability(5, 1, 4),
+            stack_write_probability(5, 2, 3),
+            stack_write_probability(5, 3, 2),
+            stack_write_probability(5, 4, 1),
+            stack_write_probability(5, 5, 1),
+        ]
+        assert values == pytest.approx([4 / 5, 3 / 4, 2 / 3, 1 / 2, 1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stack_selection_probability(5, 6)
+        with pytest.raises(ValueError):
+            stack_write_probability(5, 0, 1)
+        with pytest.raises(ValueError):
+            stack_write_probability(5, 5, 2)  # 2 candidates, 1 slot left

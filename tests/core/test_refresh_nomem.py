@@ -1,0 +1,114 @@
+"""Nomem Refresh (Algorithm 3): PRNG replay instead of buffering."""
+
+from scipy import stats
+
+from repro.core.refresh.math import expected_displaced
+from repro.core.refresh.nomem import NomemRefresh, span_of_gaps
+from repro.core.refresh.stack import StackRefresh
+from repro.rng.random_source import RandomSource
+from repro.storage.memory import MT19937_STATE_BYTES
+
+
+class TestSpanOfGaps:
+    def test_replays_identically_after_restore(self):
+        rng = RandomSource(seed=1)
+        state = rng.snapshot()
+        first = span_of_gaps(rng, 100)
+        rng.restore(state)
+        assert first == span_of_gaps(rng, 100)
+
+    def test_span_at_least_m_minus_one(self):
+        # Every gap is X_k + 1 >= 1, so the span of M-1 gaps is >= M-1.
+        rng = RandomSource(seed=2)
+        for m in (2, 5, 50):
+            assert span_of_gaps(rng, m) >= m - 1
+
+    def test_trivial_sample_size(self):
+        assert span_of_gaps(RandomSource(seed=3), 1) == 0
+
+
+class TestRefresh:
+    def test_sample_integrity(self, harness_factory):
+        harness = harness_factory(sample_size=50, candidates=80)
+        result = harness.run(NomemRefresh())
+        harness.check_sample_integrity(result)
+
+    def test_empty_log_is_noop(self, harness_factory):
+        harness = harness_factory(sample_size=20, candidates=0)
+        result = harness.run(NomemRefresh())
+        assert result.displaced == 0
+        assert harness.refresh_stats.total_accesses == 0
+
+    def test_sequential_io_only(self, harness_factory):
+        harness = harness_factory(sample_size=300, candidates=500)
+        harness.run(NomemRefresh())
+        assert harness.refresh_stats.random_reads == 0
+        assert harness.refresh_stats.random_writes == 0
+
+    def test_memory_is_prng_state_only(self, harness_factory):
+        harness = harness_factory(sample_size=64, candidates=30)
+        result = harness.run(NomemRefresh())
+        assert result.memory.index_bytes == 0
+        assert result.memory.element_bytes == 0
+        assert result.memory.prng_state_bytes == MT19937_STATE_BYTES
+
+    def test_candidates_written_in_log_order(self, harness_factory):
+        harness = harness_factory(sample_size=40, candidates=60)
+        harness.run(NomemRefresh())
+        candidate_values = [v for v in harness.final_sample() if v >= 1000]
+        assert candidate_values == sorted(candidate_values)
+
+    def test_single_slot_sample(self, harness_factory):
+        harness = harness_factory(sample_size=1, candidates=10)
+        result = harness.run(NomemRefresh())
+        assert result.displaced == 1
+        assert harness.final_sample() == [1009]
+
+    def test_more_candidates_than_sample(self, harness_factory):
+        harness = harness_factory(sample_size=10, candidates=500)
+        result = harness.run(NomemRefresh())
+        harness.check_sample_integrity(result)
+
+
+class TestDistributionalEquivalenceWithStack:
+    """Nomem is Stack with the buffer replaced by PRNG replay; the number of
+    displaced elements and their slot distribution must match."""
+
+    def test_displaced_count_distribution(self, harness_factory):
+        m, c, trials = 12, 25, 1200
+        stack_counts, nomem_counts = [], []
+        for seed in range(trials):
+            stack_counts.append(
+                harness_factory(sample_size=m, candidates=c, seed=seed)
+                .run(StackRefresh())
+                .displaced
+            )
+            nomem_counts.append(
+                harness_factory(sample_size=m, candidates=c, seed=seed + 50_000)
+                .run(NomemRefresh())
+                .displaced
+            )
+        ks = stats.ks_2samp(sorted(stack_counts), sorted(nomem_counts))
+        assert ks.pvalue > 1e-4
+
+    def test_displaced_count_matches_formula(self, harness_factory):
+        m, c, trials = 20, 35, 600
+        total = 0
+        for seed in range(trials):
+            harness = harness_factory(sample_size=m, candidates=c, seed=seed)
+            total += harness.run(NomemRefresh()).displaced
+        expected = expected_displaced(m, c)
+        assert abs(total / trials - expected) < 0.35
+
+    def test_slot_distribution_uniform(self, harness_factory):
+        m, c, trials = 10, 15, 2500
+        slot_counts = [0] * m
+        for seed in range(trials):
+            harness = harness_factory(sample_size=m, candidates=c, seed=seed)
+            harness.run(NomemRefresh())
+            for slot, value in enumerate(harness.final_sample()):
+                if value >= 1000:
+                    slot_counts[slot] += 1
+        expected = sum(slot_counts) / m
+        chi2 = sum((n - expected) ** 2 / expected for n in slot_counts)
+        assert stats.chi2.sf(chi2, df=m - 1) > 1e-4

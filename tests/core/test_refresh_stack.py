@@ -1,0 +1,111 @@
+"""Stack Refresh (Algorithm 2)."""
+
+import pytest
+from scipy import stats
+
+from repro.core.refresh.array import ArrayRefresh
+from repro.core.refresh.math import expected_displaced
+from repro.core.refresh.stack import StackRefresh, select_final_indexes
+from repro.rng.random_source import RandomSource
+from repro.storage.memory import INDEX_BYTES
+
+
+class TestSelectFinalIndexes:
+    def test_descending_unique_bounded(self):
+        rng = RandomSource(seed=1)
+        for m, c in ((5, 11), (10, 3), (50, 500), (1, 10)):
+            selected = select_final_indexes(rng, m, c)
+            assert selected == sorted(selected, reverse=True)
+            assert len(selected) == len(set(selected))
+            assert len(selected) <= min(m, c)
+            assert all(1 <= i <= c for i in selected)
+            assert selected[0] == c  # the last candidate is always final
+
+    def test_zero_candidates(self):
+        assert select_final_indexes(RandomSource(seed=2), 5, 0) == []
+
+    def test_selection_count_matches_displacement_law(self):
+        # |selected| is exactly Psi: E = M(1 - (1-1/M)^C).
+        m, c, trials = 20, 35, 2000
+        rng = RandomSource(seed=3)
+        total = sum(len(select_final_indexes(rng, m, c)) for _ in range(trials))
+        expected = expected_displaced(m, c)
+        assert abs(total / trials - expected) < 0.2
+
+    def test_matches_array_refresh_final_set_distribution(self):
+        # The set of final candidate indexes must follow the same law as
+        # Array Refresh's occupied-slot values.
+        m, c, trials = 8, 20, 3000
+        rng = RandomSource(seed=4)
+        stack_hist = [0] * (c + 1)
+        array_hist = [0] * (c + 1)
+        for _ in range(trials):
+            for i in select_final_indexes(rng, m, c):
+                stack_hist[i] += 1
+            array = ArrayRefresh.assign_slots(rng, m, c)
+            for i in array:
+                if i is not None:
+                    array_hist[i] += 1
+        # Per-index inclusion: chi-square of stack counts against the
+        # empirical array rates (both estimate (1-1/M)^(c-i)).
+        observed = stack_hist[1:]
+        expected = array_hist[1:]
+        scale = sum(observed) / sum(expected)
+        chi2 = sum(
+            (o - e * scale) ** 2 / max(e * scale, 1e-9)
+            for o, e in zip(observed, expected)
+        )
+        assert stats.chi2.sf(chi2, df=c - 1) > 1e-4
+
+
+class TestRefresh:
+    def test_sample_integrity(self, harness_factory):
+        harness = harness_factory(sample_size=50, candidates=80)
+        result = harness.run(StackRefresh())
+        harness.check_sample_integrity(result)
+
+    def test_empty_log_is_noop(self, harness_factory):
+        harness = harness_factory(sample_size=20, candidates=0)
+        result = harness.run(StackRefresh())
+        assert result.displaced == 0
+        assert harness.refresh_stats.total_accesses == 0
+
+    def test_sequential_io_only(self, harness_factory):
+        harness = harness_factory(sample_size=300, candidates=500)
+        harness.run(StackRefresh())
+        assert harness.refresh_stats.random_reads == 0
+        assert harness.refresh_stats.random_writes == 0
+
+    def test_memory_is_psi_indexes(self, harness_factory):
+        harness = harness_factory(sample_size=64, candidates=30)
+        result = harness.run(StackRefresh())
+        assert result.memory.index_bytes == result.displaced * INDEX_BYTES
+        # Psi < M, so Stack always uses less memory than Array here.
+        assert result.memory.index_bytes < 64 * INDEX_BYTES
+
+    def test_candidates_written_in_log_order(self, harness_factory):
+        # Ascending log reads imply the candidate values (1000+i) appear in
+        # ascending order across ascending sample positions.
+        harness = harness_factory(sample_size=40, candidates=60)
+        harness.run(StackRefresh())
+        candidate_values = [v for v in harness.final_sample() if v >= 1000]
+        assert candidate_values == sorted(candidate_values)
+
+    def test_single_slot_sample(self, harness_factory):
+        harness = harness_factory(sample_size=1, candidates=10)
+        result = harness.run(StackRefresh())
+        assert result.displaced == 1
+        assert harness.final_sample() == [1009]  # always the last candidate
+
+    def test_displacement_slots_uniform(self, harness_factory):
+        m, c, trials = 10, 15, 2500
+        slot_counts = [0] * m
+        for seed in range(trials):
+            harness = harness_factory(sample_size=m, candidates=c, seed=seed)
+            harness.run(StackRefresh())
+            for slot, value in enumerate(harness.final_sample()):
+                if value >= 1000:
+                    slot_counts[slot] += 1
+        expected = sum(slot_counts) / m
+        chi2 = sum((n - expected) ** 2 / expected for n in slot_counts)
+        assert stats.chi2.sf(chi2, df=m - 1) > 1e-4

@@ -1,0 +1,142 @@
+"""Reservoir sampling: filling, acceptance, skip equivalence, uniformity."""
+
+import pytest
+from scipy import stats
+
+from repro.core.reservoir import ReservoirSampler, build_reservoir
+from repro.rng.random_source import RandomSource
+
+
+class TestFilling:
+    def test_first_m_elements_fill_in_order(self):
+        sampler = ReservoirSampler(5, RandomSource(seed=1))
+        slots = [sampler.offer(i) for i in range(5)]
+        assert slots == [0, 1, 2, 3, 4]
+        assert not sampler.filling
+        assert sampler.seen == 5
+
+    def test_initial_size_skips_filling(self):
+        sampler = ReservoirSampler(5, RandomSource(seed=2), initial_size=100)
+        assert not sampler.filling
+        assert sampler.seen == 100
+
+    def test_partial_initial_size_rejected(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(10, RandomSource(seed=3), initial_size=5)
+
+    def test_invalid_arguments(self):
+        rng = RandomSource(seed=4)
+        with pytest.raises(ValueError):
+            ReservoirSampler(0, rng)
+        with pytest.raises(ValueError):
+            ReservoirSampler(5, rng, initial_size=-1)
+        with pytest.raises(ValueError):
+            ReservoirSampler(5, rng, skip_method="nope")
+
+
+class TestAcceptance:
+    def test_acceptance_rate_matches_m_over_t(self):
+        # After t elements, P(accept element t+1) = M/(t+1).
+        m, t0, trials = 10, 100, 40_000
+        rng = RandomSource(seed=5)
+        accepted = 0
+        for _ in range(trials):
+            sampler = ReservoirSampler(m, rng, initial_size=t0, skip_method="r")
+            if sampler.offer(0) is not None:
+                accepted += 1
+        expected = trials * m / (t0 + 1)
+        assert abs(accepted - expected) < 5 * expected**0.5
+
+    def test_skip_methods_agree_with_algorithm_r(self):
+        # Candidate counts over a window must be distribution-identical
+        # between per-element Bernoulli (R) and skip-based acceptance.
+        m, t0, inserts, trials = 8, 50, 400, 400
+        counts = {}
+        for method in ("r", "x", "auto"):
+            rng = RandomSource(seed=6)
+            per_trial = []
+            for _ in range(trials):
+                sampler = ReservoirSampler(m, rng, initial_size=t0, skip_method=method)
+                per_trial.append(
+                    sum(1 for _ in range(inserts) if sampler.test(0))
+                )
+            counts[method] = sorted(per_trial)
+        assert stats.ks_2samp(counts["r"], counts["x"]).pvalue > 1e-4
+        assert stats.ks_2samp(counts["r"], counts["auto"]).pvalue > 1e-4
+
+    def test_slot_choice_is_uniform(self):
+        m, trials = 10, 30_000
+        rng = RandomSource(seed=7)
+        counts = [0] * m
+        sampler = ReservoirSampler(m, rng, initial_size=10, skip_method="r")
+        for _ in range(trials):
+            slot = sampler.offer(0)
+            if slot is not None:
+                counts[slot] += 1
+        total = sum(counts)
+        expected = total / m
+        chi2 = sum((c - expected) ** 2 / expected for c in counts)
+        assert stats.chi2.sf(chi2, df=m - 1) > 1e-4
+
+    def test_test_requires_complete_sample(self):
+        sampler = ReservoirSampler(5, RandomSource(seed=8))
+        with pytest.raises(RuntimeError):
+            sampler.test(0)
+
+    def test_test_advances_seen(self):
+        sampler = ReservoirSampler(5, RandomSource(seed=9), initial_size=5)
+        for _ in range(10):
+            sampler.test(0)
+        assert sampler.seen == 15
+
+
+class TestBuildReservoir:
+    def test_small_dataset_keeps_everything(self):
+        sample, seen = build_reservoir(range(5), 10, RandomSource(seed=10))
+        assert sorted(sample) == [0, 1, 2, 3, 4]
+        assert seen == 5
+
+    def test_sample_has_exact_size(self):
+        sample, seen = build_reservoir(range(1000), 50, RandomSource(seed=11))
+        assert len(sample) == 50
+        assert len(set(sample)) == 50
+        assert seen == 1000
+        assert all(0 <= v < 1000 for v in sample)
+
+    def test_inclusion_is_uniform(self):
+        # Each of N elements included with probability M/N.
+        m, n, trials = 8, 64, 4_000
+        counts = [0] * n
+        for t in range(trials):
+            sample, _ = build_reservoir(range(n), m, RandomSource(seed=1000 + t))
+            for v in sample:
+                counts[v] += 1
+        expected = trials * m / n
+        chi2 = sum((c - expected) ** 2 / expected for c in counts)
+        assert stats.chi2.sf(chi2, df=n - 1) > 1e-4
+
+    @pytest.mark.parametrize("method", ["r", "x", "z", "auto"])
+    def test_all_skip_methods_build_valid_samples(self, method):
+        sample, seen = build_reservoir(
+            range(500), 20, RandomSource(seed=12), skip_method=method
+        )
+        assert len(sample) == 20
+        assert len(set(sample)) == 20
+
+
+class TestPendingAccept:
+    def test_roundtrip_for_recovery(self):
+        sampler = ReservoirSampler(10, RandomSource(seed=20), initial_size=100)
+        for _ in range(5):
+            sampler.test(0)
+        pending = sampler.pending_accept
+        clone = ReservoirSampler(10, RandomSource(seed=21), initial_size=100)
+        clone._seen = sampler.seen
+        clone.pending_accept = pending
+        assert clone.pending_accept == pending
+
+    def test_setter_rejects_past_positions(self):
+        sampler = ReservoirSampler(10, RandomSource(seed=22), initial_size=100)
+        with pytest.raises(ValueError):
+            sampler.pending_accept = 50
+        sampler.pending_accept = None  # clearing is always fine

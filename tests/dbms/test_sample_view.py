@@ -1,0 +1,174 @@
+"""SampleView: the Sec. 5 materialized-view scenario end to end."""
+
+import pytest
+from scipy import stats
+
+from repro.core.policies import PeriodicPolicy
+from repro.core.refresh.stack import StackRefresh
+from repro.dbms.sample_view import RowRecordCodec, SampleView
+from repro.dbms.table import Row, Table
+from repro.rng.random_source import RandomSource
+from repro.storage.cost_model import CostModel
+
+
+def make_view(rows=200, sample_size=30, allow_deletes=True, seed=1, policy=None):
+    table = Table()
+    for k in range(rows):
+        table.insert(k, k * 10)
+    view = SampleView(
+        table,
+        sample_size=sample_size,
+        rng=RandomSource(seed=seed),
+        algorithm=StackRefresh(),
+        cost_model=CostModel(),
+        allow_deletes=allow_deletes,
+        policy=policy,
+    )
+    return table, view
+
+
+class TestRowRecordCodec:
+    def test_roundtrip(self):
+        codec = RowRecordCodec()
+        row = Row(-5, 2**50)
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RowRecordCodec(8)
+        with pytest.raises(ValueError):
+            RowRecordCodec().decode(b"\x00" * 8)
+
+
+class TestConstruction:
+    def test_initial_sample_from_table(self):
+        _, view = make_view()
+        rows = view.rows()
+        assert len(rows) == 30
+        assert len({r.key for r in rows}) == 30
+        assert all(r.value == r.key * 10 for r in rows)
+
+    def test_rejects_undersized_table(self):
+        table = Table()
+        table.insert(1, 1)
+        with pytest.raises(ValueError):
+            SampleView(
+                table, sample_size=5, rng=RandomSource(seed=2),
+                algorithm=StackRefresh(), cost_model=CostModel(),
+            )
+
+
+class TestInsertsOnly:
+    def test_candidate_mode_maintains_sample(self):
+        table, view = make_view(allow_deletes=False)
+        for k in range(200, 800):
+            table.insert(k, k * 10)
+        view.refresh()
+        rows = view.rows()
+        assert len({r.key for r in rows}) == 30
+        assert all(r.value == r.key * 10 for r in rows)
+        assert view.dataset_size == 800
+
+    def test_periodic_policy_auto_refreshes(self):
+        table, view = make_view(
+            allow_deletes=False, policy=PeriodicPolicy(100)
+        )
+        for k in range(200, 650):
+            table.insert(k, k * 10)
+        assert view.refreshes == 4
+
+
+class TestUpdates:
+    def test_updates_applied_after_refresh(self):
+        table, view = make_view()
+        for k in range(0, 200, 2):
+            table.update(k, -k)
+        view.refresh()
+        for row in view.rows():
+            expected = -row.key if row.key % 2 == 0 else row.key * 10
+            assert row.value == expected
+
+    def test_update_of_fresh_insert_lands_in_sample(self):
+        table, view = make_view(allow_deletes=False, sample_size=150)
+        for k in range(200, 260):
+            table.insert(k, 0)
+        for k in range(200, 260):
+            table.update(k, 777)
+        view.refresh()
+        fresh = [r for r in view.rows() if r.key >= 200]
+        assert all(r.value == 777 for r in fresh)
+
+
+class TestDeletes:
+    def test_deleted_keys_leave_sample_and_shrink_it(self):
+        table, view = make_view()
+        for k in range(0, 100):
+            table.delete(k)
+        view.refresh()
+        rows = view.rows()
+        assert all(r.key >= 100 for r in rows)
+        assert view.sample_size <= 30
+        assert view.dataset_size == 100
+
+    def test_inserts_after_deletes_processed_against_smaller_sample(self):
+        table, view = make_view()
+        for k in range(0, 50):
+            table.delete(k)
+        for k in range(200, 400):
+            table.insert(k, k * 10)
+        view.refresh()
+        rows = view.rows()
+        keys = {r.key for r in rows}
+        assert len(keys) == len(rows)
+        assert all(k >= 50 for k in keys)
+        assert all(r.value == r.key * 10 for r in rows)
+
+    def test_candidate_mode_rejects_deletes(self):
+        table, view = make_view(allow_deletes=False)
+        with pytest.raises(RuntimeError):
+            table.delete(0)
+
+    def test_disjunctive_window_made_true_by_implicit_refresh(self):
+        table, view = make_view()
+        table.insert(500, 5000)
+        refreshes_before = view.refreshes
+        table.delete(500)  # same window: view refreshes first, then logs
+        assert view.refreshes == refreshes_before + 1
+        view.refresh()
+        assert all(r.key != 500 for r in view.rows())
+        assert view.dataset_size == 200
+
+    def test_unknown_change_kind_rejected(self):
+        _, view = make_view()
+        with pytest.raises(ValueError):
+            view._on_change("merge", Row(1, 1))
+
+
+class TestUniformity:
+    def test_mixed_workload_keeps_sample_uniform(self):
+        # inserts + deletes + updates; inclusion over surviving keys ~ M/N.
+        m, trials = 8, 1200
+        survivors = None
+        counts = {}
+        for seed in range(trials):
+            table, view = make_view(rows=60, sample_size=m, seed=seed)
+            for k in range(60, 100):
+                table.insert(k, k * 10)
+            view.refresh()
+            for k in range(0, 20):
+                table.delete(k)
+            for k in range(100, 120):
+                table.insert(k, k * 10)
+            view.refresh()
+            keys = [r.key for r in view.rows()]
+            if survivors is None:
+                survivors = set(range(20, 120))
+            for k in keys:
+                assert k in survivors
+                counts[k] = counts.get(k, 0) + 1
+        total = sum(counts.values())
+        expected = total / len(survivors)
+        chi2 = sum(
+            (counts.get(k, 0) - expected) ** 2 / expected for k in survivors
+        )
+        assert stats.chi2.sf(chi2, df=len(survivors) - 1) > 1e-4

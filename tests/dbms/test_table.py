@@ -1,0 +1,61 @@
+"""Minimal keyed table."""
+
+import pytest
+
+from repro.dbms.table import Row, Table
+
+
+class TestTable:
+    def test_insert_get_len(self):
+        table = Table()
+        table.insert(1, 10)
+        table.insert(2, 20)
+        assert len(table) == 2
+        assert table.get(1) == 10
+        assert 2 in table
+        assert 3 not in table
+
+    def test_duplicate_insert_rejected(self):
+        table = Table()
+        table.insert(1, 10)
+        with pytest.raises(KeyError):
+            table.insert(1, 11)
+
+    def test_update_changes_value(self):
+        table = Table()
+        table.insert(1, 10)
+        table.update(1, 99)
+        assert table.get(1) == 99
+
+    def test_update_missing_key_rejected(self):
+        with pytest.raises(KeyError):
+            Table().update(1, 10)
+
+    def test_delete_removes_row(self):
+        table = Table()
+        table.insert(1, 10)
+        table.delete(1)
+        assert 1 not in table
+        with pytest.raises(KeyError):
+            table.delete(1)
+
+    def test_rows_scan(self):
+        table = Table()
+        for k in range(5):
+            table.insert(k, k * 2)
+        rows = {(r.key, r.value) for r in table.rows()}
+        assert rows == {(k, k * 2) for k in range(5)}
+
+    def test_subscribers_see_changes_in_order(self):
+        table = Table()
+        events = []
+        table.subscribe(lambda kind, row: events.append((kind, row.key, row.value)))
+        table.insert(1, 10)
+        table.update(1, 11)
+        table.delete(1)
+        assert events == [("insert", 1, 10), ("update", 1, 11), ("delete", 1, 11)]
+
+    def test_row_is_immutable(self):
+        row = Row(1, 2)
+        with pytest.raises(AttributeError):
+            row.key = 5

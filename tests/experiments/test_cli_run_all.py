@@ -1,0 +1,15 @@
+"""The CLI's 'run all' covers every registered experiment."""
+
+import re
+
+from repro.cli import main
+from repro.experiments.figures import all_experiments
+
+
+def test_run_all_smoke(capsys):
+    assert main(["run", "all", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    for name in all_experiments():
+        assert re.search(rf"^{re.escape(name)}:", out, re.MULTILINE), name
+    # Every experiment reports a runtime.
+    assert out.count("computed in") == len(all_experiments())

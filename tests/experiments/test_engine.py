@@ -1,0 +1,258 @@
+"""Vectorised engine: primitives and agreement with the reference implementation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.geometric_file import GeometricFile, GeometricFileParameters
+from repro.core.maintenance import SampleMaintainer
+from repro.core.policies import PeriodicPolicy
+from repro.core.refresh.math import expected_candidates_exact, expected_displaced
+from repro.core.refresh.stack import StackRefresh
+from repro.experiments import engine
+from repro.rng.random_source import RandomSource
+from repro.storage.block_device import SimulatedBlockDevice
+from repro.storage.cost_model import CostModel
+from repro.storage.files import LogFile
+from repro.storage.records import IntRecordCodec
+from tests.conftest import make_sample
+
+
+class TestCandidatePositions:
+    def test_count_matches_expectation(self):
+        m, r0, n = 100, 1000, 50_000
+        rng = np.random.default_rng(1)
+        positions = engine.candidate_positions(rng, m, r0, n)
+        expected = expected_candidates_exact(m, r0, n)
+        assert abs(positions.size - expected) < 5 * math.sqrt(expected)
+
+    def test_positions_sorted_in_range(self):
+        rng = np.random.default_rng(2)
+        positions = engine.candidate_positions(rng, 10, 10, 5000)
+        assert np.all(np.diff(positions) > 0)
+        assert positions[0] >= 1 and positions[-1] <= 5000
+
+    def test_chunking_boundary(self):
+        # Force multiple chunks by monkeypatching the chunk size.
+        original = engine._CHUNK
+        engine._CHUNK = 1000
+        try:
+            rng = np.random.default_rng(3)
+            positions = engine.candidate_positions(rng, 50, 100, 3500)
+            assert np.all(np.diff(positions) > 0)
+            assert positions[-1] <= 3500
+        finally:
+            engine._CHUNK = original
+
+    def test_zero_inserts(self):
+        rng = np.random.default_rng(4)
+        assert engine.candidate_positions(rng, 5, 10, 0).size == 0
+
+    def test_validation(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            engine.candidate_positions(rng, 0, 10, 10)
+        with pytest.raises(ValueError):
+            engine.candidate_positions(rng, 10, 5, 10)
+        with pytest.raises(ValueError):
+            engine.candidate_positions(rng, 5, 10, -1)
+
+
+class TestPeriodCounts:
+    def test_counts_partition_positions(self):
+        positions = np.array([1, 5, 10, 11, 20, 30])
+        counts = engine.candidate_counts_per_period(positions, inserts=30, period=10)
+        assert list(counts) == [3, 2, 1]
+
+    def test_boundary_element_belongs_to_earlier_period(self):
+        positions = np.array([10])
+        counts = engine.candidate_counts_per_period(positions, inserts=20, period=10)
+        assert list(counts) == [1, 0]
+
+    def test_ragged_final_period(self):
+        positions = np.array([25])
+        counts = engine.candidate_counts_per_period(positions, inserts=25, period=10)
+        assert list(counts) == [0, 0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            engine.candidate_counts_per_period(np.array([1]), 10, 0)
+
+
+class TestOnlineCosts:
+    def test_log_online_cost_matches_reference_logfile(self):
+        # The formula must agree with what a real LogFile charges.
+        for elements in (1, 127, 128, 129, 1000):
+            model = CostModel()
+            log = LogFile(SimulatedBlockDevice(model, "log"), IntRecordCodec())
+            for generation in range(3):
+                for v in range(elements):
+                    log.append(v)
+                log.flush()
+                log.truncate()
+            predicted = engine.log_online_cost([elements] * 3)
+            assert predicted.seq_writes == model.stats.seq_writes, elements
+            assert predicted.random_writes == model.stats.random_writes, elements
+
+    def test_zero_element_periods_are_free(self):
+        stats = engine.log_online_cost([0, 0, 5])
+        assert stats.random_writes == 1
+        assert stats.seq_writes == 0
+
+    def test_immediate_cost(self):
+        stats = engine.immediate_online_cost(42)
+        assert stats.random_writes == 42
+        assert stats.total_accesses == 42
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            engine.log_online_cost([-1])
+
+
+class TestExpectedBlockFormulas:
+    def test_sample_blocks_monte_carlo(self):
+        # Realise ball-into-bins displacement and compare touched blocks
+        # against the closed form.
+        m, c, trials = 128 * 4, 300, 400
+        rng = np.random.default_rng(7)
+        total = 0
+        for _ in range(trials):
+            slots = rng.integers(m, size=c)
+            total += np.unique(slots // 128).size
+        expected = engine.expected_sample_blocks_written(m, np.array([c]))[0]
+        sd = 2.0  # block-count variance is small
+        assert abs(total / trials - expected) < 5 * sd / math.sqrt(trials) + 0.15
+
+    def test_candidate_log_blocks_monte_carlo(self):
+        # Realise the final-candidate set and compare log blocks read.
+        m, c, trials = 60, 300, 500
+        rng = np.random.default_rng(8)
+        total = 0
+        for _ in range(trials):
+            slots = rng.integers(m, size=c)
+            last_per_slot = np.zeros(m, dtype=np.int64)
+            np.maximum.at(last_per_slot, slots, np.arange(1, c + 1))
+            finals = last_per_slot[last_per_slot > 0]
+            total += np.unique((finals - 1) // 128).size
+        expected = engine.expected_candidate_log_blocks_read(m, np.array([c]))[0]
+        assert abs(total / trials - expected) < 0.1
+
+    def test_full_log_blocks_spread_wider_than_candidate_log(self):
+        # Sec. 5: candidates are further apart in a full log, so more
+        # blocks are read.
+        m = 100
+        c = 50
+        rng = np.random.default_rng(9)
+        positions = np.sort(
+            rng.choice(np.arange(1, 50_001), size=c, replace=False)
+        )
+        sparse = engine.expected_full_log_blocks_read(m, positions)
+        dense = engine.expected_candidate_log_blocks_read(m, np.array([c]))[0]
+        assert sparse > dense
+
+    def test_full_log_blocks_empty(self):
+        assert engine.expected_full_log_blocks_read(10, np.array([])) == 0.0
+
+    def test_refresh_cost_cached_fraction_scales_writes(self):
+        counts = np.array([500])
+        base = engine.refresh_offline_cost(1000, counts)
+        cached = engine.refresh_offline_cost(1000, counts, cached_fraction=0.5)
+        assert cached.seq_writes == pytest.approx(base.seq_writes * 0.5, abs=1)
+        assert cached.seq_reads == base.seq_reads
+
+    def test_refresh_cost_validation(self):
+        with pytest.raises(ValueError):
+            engine.refresh_offline_cost(10, np.array([1]), cached_fraction=1.0)
+        with pytest.raises(ValueError):
+            engine.refresh_offline_cost(
+                10, np.array([1, 2]), full_log_positions=[np.array([1])]
+            )
+
+
+class TestEngineMatchesReference:
+    """The decisive test: engine counts == reference implementation counts
+    (in expectation), run at identical parameters."""
+
+    M, R0, INSERTS, PERIOD = 256, 512, 8192, 1024
+    TRIALS = 30
+
+    def _reference_run(self, strategy, seed):
+        rng = RandomSource(seed=seed)
+        cost = CostModel()
+        sample, seen = make_sample(cost, self.M, self.R0, rng)
+        log = LogFile(SimulatedBlockDevice(cost, "log"), IntRecordCodec())
+        maintainer = SampleMaintainer(
+            sample, rng, strategy=strategy, initial_dataset_size=seen,
+            log=log, algorithm=StackRefresh(),
+            policy=PeriodicPolicy(self.PERIOD), cost_model=cost,
+        )
+        maintainer.insert_many(range(self.R0, self.R0 + self.INSERTS))
+        return maintainer.stats
+
+    @pytest.mark.parametrize("strategy", ["immediate", "candidate", "full"])
+    def test_total_cost_agrees(self, strategy):
+        reference_costs = []
+        for seed in range(self.TRIALS):
+            stats = self._reference_run(strategy, seed=seed + 100)
+            reference_costs.append(
+                stats.online.cost_seconds() + stats.offline.cost_seconds()
+            )
+        engine_costs = []
+        for seed in range(self.TRIALS):
+            cost = engine.simulate_strategy(
+                strategy, self.M, self.R0, self.INSERTS, self.PERIOD, seed=seed
+            )
+            engine_costs.append(cost.total_seconds())
+        ref_mean = sum(reference_costs) / self.TRIALS
+        eng_mean = sum(engine_costs) / self.TRIALS
+        assert eng_mean == pytest.approx(ref_mean, rel=0.10), strategy
+
+    def test_online_split_agrees_for_candidate(self):
+        reference = [
+            self._reference_run("candidate", seed=seed + 300).online.cost_seconds()
+            for seed in range(self.TRIALS)
+        ]
+        simulated = [
+            engine.simulate_strategy(
+                "candidate", self.M, self.R0, self.INSERTS, self.PERIOD, seed=seed
+            ).online_seconds()
+            for seed in range(self.TRIALS)
+        ]
+        ref_mean = sum(reference) / self.TRIALS
+        eng_mean = sum(simulated) / self.TRIALS
+        assert eng_mean == pytest.approx(ref_mean, rel=0.15)
+
+    def test_simulate_strategy_validation(self):
+        with pytest.raises(ValueError):
+            engine.simulate_strategy("gf", 10, 10, 10, None)
+
+
+class TestGeometricFileCost:
+    def test_engine_matches_class_charges(self):
+        # Same flush count must produce the same charges.
+        m, b = 1000, 50
+        params = GeometricFileParameters(boundary_ios=2, min_segment=100)
+        rng = RandomSource(seed=11)
+        cost = CostModel()
+        gf = GeometricFile(
+            sample_size=m, buffer_capacity=b, rng=rng, cost_model=cost,
+            parameters=params,
+        )
+        baseline = cost.checkpoint()
+        gf.insert_many(range(m, m + 20_000))
+        gf_stats = cost.since(baseline)
+        candidates = sum(
+            1 for _ in range(1)
+        )  # placeholder to keep flake quiet
+        predicted, flushes = engine.geometric_file_cost(
+            m, gf.flushes * b, b, boundary_ios=2, min_segment=100
+        )
+        assert flushes == gf.flushes
+        assert predicted.random_reads == gf_stats.random_reads
+        assert predicted.seq_writes == gf_stats.seq_writes
+        assert predicted.random_writes == gf_stats.random_writes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            engine.geometric_file_cost(100, 10, 0)

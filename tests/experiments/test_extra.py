@@ -1,0 +1,58 @@
+"""Extension experiments: accuracy stability and recency bias."""
+
+import pytest
+
+from repro.experiments.extra import EXTRAS, extra_accuracy, extra_bias
+from repro.experiments.figures import all_experiments, get_figure
+
+
+class TestRegistry:
+    def test_extras_registered(self):
+        combined = all_experiments()
+        for name in EXTRAS:
+            assert name in combined
+        assert get_figure("extra-accuracy") is extra_accuracy
+
+    def test_paper_figures_unpolluted(self):
+        from repro.experiments.figures import FIGURES
+
+        assert not any(name.startswith("extra-") for name in FIGURES)
+
+
+class TestAccuracyStability:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return extra_accuracy(scale="smoke", seed=1)
+
+    def test_error_tracks_theory(self, result):
+        measured = result.series["measured"]
+        theory = result.series["theory (uniform sampling)"][0]
+        # Mean measured error within a factor ~2 of the sampling theory.
+        overall = sum(measured) / len(measured)
+        assert theory / 2.5 < overall < theory * 2.5
+
+    def test_no_drift_across_refreshes(self, result):
+        # Error in the last quarter of refreshes is not systematically
+        # worse than in the first quarter (no accumulated bias).
+        measured = result.series["measured"]
+        quarter = max(1, len(measured) // 4)
+        early = sum(measured[:quarter]) / quarter
+        late = sum(measured[-quarter:]) / quarter
+        assert late < 3 * early
+
+
+class TestRecencyBias:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return extra_bias(scale="smoke", seed=2)
+
+    def test_mean_age_matches_theory(self, result):
+        for measured, theory in zip(
+            result.series["measured"], result.series["theory M/p"]
+        ):
+            assert measured == pytest.approx(theory, rel=0.25)
+
+    def test_age_grows_with_half_life(self, result):
+        measured = result.series["measured"]
+        assert measured == sorted(measured)
+        assert measured[-1] > 5 * measured[0]

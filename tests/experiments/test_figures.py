@@ -1,0 +1,255 @@
+"""Figure definitions: every experiment runs and exhibits the paper's shape.
+
+These tests assert the DESIGN.md claims list at smoke scale -- who wins,
+ordering, monotonicity -- not absolute values.
+"""
+
+import pytest
+
+from repro.experiments.figures import FIGURES, SeriesResult, get_figure
+from repro.experiments.scaling import SCALES
+
+SMOKE = "smoke"
+
+
+def run(figure: str) -> SeriesResult:
+    return get_figure(figure)(scale=SMOKE, seed=1)
+
+
+class TestRegistry:
+    def test_all_paper_figures_present(self):
+        for name in [f"fig{i}" for i in range(6, 15)] + ["access-times"]:
+            assert name in FIGURES
+
+    def test_get_figure_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            get_figure("fig99")
+
+    @pytest.mark.parametrize("name", sorted(set(FIGURES) - {"access-times", "fig13"}))
+    def test_every_figure_runs_and_is_well_formed(self, name):
+        result = run(name)
+        assert result.figure == name
+        assert result.x
+        for series_name, values in result.series.items():
+            assert len(values) == len(result.x), series_name
+            assert all(v >= 0 for v in values), series_name
+
+
+class TestFig6OnlineOverTime:
+    """Claim 1: candidate logging beats full logging and immediate refresh
+    by orders of magnitude in online cost."""
+
+    def test_ordering_and_magnitude(self):
+        result = run("fig6")
+        final = {name: series[-1] for name, series in result.series.items()}
+        assert final["Cand."] < final["Full"] < final["Immediate"]
+        assert final["Immediate"] > 100 * final["Cand."]
+
+    def test_costs_are_cumulative(self):
+        result = run("fig6")
+        for series in result.series.values():
+            assert series == sorted(series)
+
+
+class TestFig7TotalOverTime:
+    """Claim 3: deferred refresh total cost is far below immediate."""
+
+    def test_ordering(self):
+        result = run("fig7")
+        final = {name: series[-1] for name, series in result.series.items()}
+        assert final["Cand."] <= final["Full"] < final["Immediate"]
+        assert final["Immediate"] > 20 * final["Full"]
+
+
+class TestFig8OnlineVsSampleSize:
+    """Claim 2: full-log online cost is flat in M; immediate and candidate
+    grow with M; candidate is always below full."""
+
+    def test_full_is_flat(self):
+        result = run("fig8")
+        full = result.series["Full"]
+        assert max(full) < 1.2 * min(full)
+
+    def test_immediate_and_candidate_grow(self):
+        result = run("fig8")
+        assert result.series["Immediate"][-1] > 2 * result.series["Immediate"][0]
+        assert result.series["Cand."][-1] > 2 * result.series["Cand."][0]
+
+    def test_candidate_bounded_by_full(self):
+        # "the cost of writing the full log is an upper bound to the cost
+        # of writing the candidate log"
+        result = run("fig8")
+        for cand, full in zip(result.series["Cand."], result.series["Full"]):
+            assert cand <= full * 1.05
+
+
+class TestFig9TotalVsSampleSize:
+    def test_full_cand_gap_reopens_with_more_operations(self):
+        # The paper's caveat on Fig. 9: full and candidate "are almost
+        # equal if the sample is really large. However, we performed 100
+        # million operations in every case. If the number of operations
+        # were larger, this effect would vanish."  The gap is the online
+        # log cost, which scales with operations while the refresh cost
+        # does not: more operations at fixed M re-widen the ratio.
+        from repro.experiments import engine
+
+        m, r0, period = 20_000, 20_000, 20_000
+
+        def ratio(inserts):
+            full = engine.simulate_strategy(
+                "full", m, r0, inserts, period, seed=5
+            ).total_seconds()
+            cand = engine.simulate_strategy(
+                "candidate", m, r0, inserts, period, seed=5
+            ).total_seconds()
+            return full / cand
+
+        assert ratio(2_000_000) > ratio(200_000)
+
+    def test_deferred_beats_immediate_everywhere(self):
+        result = run("fig9")
+        for name in ("Full", "Cand."):
+            for deferred, immediate in zip(
+                result.series[name], result.series["Immediate"]
+            ):
+                assert deferred < immediate
+
+    def test_costs_increase_with_sample_size(self):
+        result = run("fig9")
+        cand = result.series["Cand."]
+        assert cand[-1] > cand[0]
+
+
+class TestFig10OnlineVsPeriod:
+    def test_immediate_flat_deferred_decline(self):
+        result = run("fig10")
+        immediate = result.series["Immediate"]
+        assert max(immediate) < 1.05 * min(immediate)
+        for name in ("Full", "Cand."):
+            series = result.series[name]
+            assert series[-1] < series[0]
+
+    def test_candidate_below_full(self):
+        result = run("fig10")
+        for cand, full in zip(result.series["Cand."], result.series["Full"]):
+            assert cand <= full * 1.05
+
+
+class TestFig11TotalVsPeriod:
+    """Claim 4: longer refresh periods widen the candidate-vs-full gap."""
+
+    def test_gap_widens_with_period(self):
+        # The paper's claim concerns the moderate-to-long period regime
+        # ("the larger the refresh period gets, the more effort is saved by
+        # using a candidate log"); the shortest periods are dominated by
+        # per-period seeks for both strategies.
+        result = run("fig11")
+        ratios = [
+            full / cand
+            for full, cand in zip(result.series["Full"], result.series["Cand."])
+        ]
+        mid = len(ratios) // 2
+        assert ratios[-1] > ratios[mid]
+        assert ratios[-1] > 1.5
+
+    def test_deferred_beats_immediate_for_long_periods(self):
+        result = run("fig11")
+        assert result.series["Cand."][-1] < result.series["Immediate"][-1] / 20
+
+
+class TestFig12Memory:
+    """Claim 5: Array flat at 4M bytes; Stack grows; Nomem ~zero; GF needs
+    a buffer of full elements."""
+
+    def test_array_flat_at_4m_bytes(self):
+        result = run("fig12")
+        m = SCALES[SMOKE].sample_size
+        assert all(v == pytest.approx(4 * m / 1e6) for v in result.series["Array"])
+
+    def test_stack_grows_and_stays_below_array(self):
+        result = run("fig12")
+        stack = result.series["Stack"]
+        assert stack == sorted(stack)
+        assert stack[-1] > stack[0]
+        assert all(
+            s <= a for s, a in zip(stack, result.series["Array"])
+        )
+
+    def test_nomem_negligible(self):
+        result = run("fig12")
+        for value in result.series["Nomem"]:
+            assert value < 0.01  # < 10 kB
+
+    def test_gf_exceeds_stack_elementwise(self):
+        # Same entry count, but full 32-byte elements vs 4-byte indexes.
+        result = run("fig12")
+        for gf, stack in zip(result.series["GF"], result.series["Stack"]):
+            assert gf == pytest.approx(stack * 8)
+
+
+class TestFig13Cpu:
+    """Claim 6: Stack fastest; Array beats Nomem for small logs and loses
+    for large ones (the sort)."""
+
+    def test_orderings(self):
+        from repro.experiments.scaling import Scale
+
+        # Big enough that timings are not noise; small enough for a test.
+        scale = Scale(
+            name="fig13-test", sample_size=20_000, initial_dataset=20_000,
+            inserts=200_000, refresh_period=20_000,
+        )
+        result = get_figure("fig13")(scale=scale, seed=1)
+        stack = result.series["Stack"]
+        array = result.series["Array"]
+        nomem = result.series["Nomem"]
+        # Stack does O(Psi) work: it never loses to Nomem's fixed 2(M-1)
+        # draws, and beats Array decisively for large logs (|C| > M).
+        for s, n in zip(stack, nomem):
+            assert s < n
+        assert stack[-1] < array[-1]
+        # Array degrades relative to Nomem as the log grows (the sort and
+        # the O(|C|) assignment) -- the Fig. 13 crossover.
+        assert array[-1] / nomem[-1] > 2 * (array[0] / nomem[0])
+
+
+class TestFig14GeometricFile:
+    """Claim 7: GF loses below ~3% buffer fraction, wins above ~4-5%."""
+
+    def test_monotone_decline_and_small_buffer_loss(self):
+        # At smoke scale (a sample of a handful of blocks) a sequential
+        # refresh pass is nearly free, so the GF can never win -- the
+        # crossover is a paper-scale property, asserted below.  What must
+        # hold at every scale: all curves decline with buffer size and the
+        # GF loses badly with a tiny buffer.
+        result = run("fig14")
+        gf = result.series["GF"]
+        cand = result.series["Cand."]
+        assert gf == sorted(gf, reverse=True)
+        assert cand == sorted(cand, reverse=True)
+        assert gf[0] > cand[0]
+
+    def test_paper_scale_crossovers(self):
+        # The actual 3-4% claim is a paper-scale property (seek-vs-scan
+        # balance depends on M); verify it there. Engine-only: fast.
+        result = get_figure("fig14")(scale="paper", seed=1)
+        by_fraction = dict(
+            zip(result.x, zip(result.series["GF"], result.series["Cand."],
+                              result.series["Full"]))
+        )
+        gf, cand, full = by_fraction[0.02]
+        assert gf > cand and gf > full  # below 3%: GF loses to both
+        gf, cand, full = by_fraction[0.03]
+        assert gf < full  # ~3-4%: beats full...
+        assert gf > cand  # ...but not candidate
+        gf, cand, full = by_fraction[0.05]
+        assert gf < cand and gf < full  # above ~4%: GF wins
+
+
+class TestAccessTimes:
+    def test_reports_paper_and_measured(self):
+        result = get_figure("access-times")(scale=SMOKE)
+        assert result.series["random read"][0] == pytest.approx(8.45)
+        assert result.series["seq read"][0] == pytest.approx(0.094)
+        for name in ("seq read", "seq write", "random read", "random write"):
+            assert result.series[name][1] > 0  # measured on this machine

@@ -1,0 +1,67 @@
+"""CSV/JSON series export and the CLI --format flag."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.figures import SeriesResult
+from repro.experiments.report import format_series_csv, format_series_json
+
+
+@pytest.fixture
+def result():
+    return SeriesResult(
+        figure="figX",
+        title="Demo, with comma",
+        x_label="x, label",
+        y_label="seconds",
+        x=[1.0, 10.0],
+        series={"A": [0.5, 5.0], 'B "quoted"': [1.0, 100.0]},
+        scale="smoke",
+    )
+
+
+class TestCsv:
+    def test_header_and_rows(self, result):
+        text = format_series_csv(result)
+        lines = text.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith('"x, label",A,')
+        assert lines[1].split(",")[0] == "1.0"
+        assert lines[2].split(",")[-1] == "100.0"
+
+    def test_quoting(self, result):
+        header = format_series_csv(result).splitlines()[0]
+        assert '"B ""quoted"""' in header
+
+    def test_roundtrips_through_csv_module(self, result):
+        import csv
+        import io
+
+        rows = list(csv.reader(io.StringIO(format_series_csv(result))))
+        assert rows[0] == ["x, label", "A", 'B "quoted"']
+        assert [float(v) for v in rows[1]] == [1.0, 0.5, 1.0]
+
+
+class TestJson:
+    def test_complete_payload(self, result):
+        payload = json.loads(format_series_json(result))
+        assert payload["figure"] == "figX"
+        assert payload["x"] == [1.0, 10.0]
+        assert payload["series"]["A"] == [0.5, 5.0]
+        assert payload["scale"] == "smoke"
+
+
+class TestCliFormats:
+    def test_csv_output(self, capsys):
+        assert main(["run", "fig12", "--scale", "smoke", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Number of Candidates,")
+        assert "computed in" not in out
+
+    def test_json_output(self, capsys):
+        assert main(["run", "fig12", "--scale", "smoke", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["figure"] == "fig12"
+        assert set(payload["series"]) == {"Array", "Stack", "Nomem", "GF"}

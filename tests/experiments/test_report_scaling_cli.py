@@ -1,0 +1,93 @@
+"""Report formatting, scale presets, and the CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.figures import SeriesResult
+from repro.experiments.report import format_series_table, format_value
+from repro.experiments.scaling import SCALES, Scale, resolve_scale
+
+
+class TestFormatValue:
+    def test_magnitudes(self):
+        assert format_value(0) == "0"
+        assert format_value(3.5) == "3.5"
+        assert format_value(1500) == "1.5k"
+        assert format_value(2_500_000) == "2.5M"
+        assert format_value(0.002) == "2.00e-03"
+
+
+class TestFormatSeriesTable:
+    def _result(self):
+        return SeriesResult(
+            figure="figX",
+            title="Demo",
+            x_label="x",
+            y_label="seconds",
+            x=[1.0, 10.0],
+            series={"A": [0.5, 5.0], "B": [1.0, 100.0]},
+            notes="a note",
+            scale="smoke",
+        )
+
+    def test_contains_header_and_rows(self):
+        text = format_series_table(self._result())
+        assert "figX: Demo" in text
+        assert "[scale=smoke]" in text
+        assert "a note" in text
+        assert "A" in text and "B" in text
+        assert "100" in text
+        assert "seconds" in text
+
+    def test_rows_align(self):
+        lines = format_series_table(self._result()).splitlines()
+        table_lines = [l for l in lines if "|" in l]
+        widths = {len(l) for l in table_lines}
+        assert len(widths) == 1  # all table rows same width
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert set(SCALES) == {"smoke", "default", "paper"}
+        paper = SCALES["paper"]
+        assert paper.sample_size == 1_000_000
+        assert paper.inserts == 100_000_000
+        assert paper.refresh_period == 1_000_000
+
+    def test_resolve_accepts_name_or_scale(self):
+        assert resolve_scale("smoke") is SCALES["smoke"]
+        custom = Scale("c", 10, 10, 100, 10)
+        assert resolve_scale(custom) is custom
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_scale("huge")
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            Scale("bad", 0, 0, 1, 1)
+        with pytest.raises(ValueError):
+            Scale("bad", 10, 5, 1, 1)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "fig14" in out
+        assert "paper" in out
+
+    def test_run_single_figure(self, capsys):
+        assert main(["run", "fig12", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out
+        assert "Nomem" in out
+        assert "computed in" in out
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            main(["run", "fig99", "--scale", "smoke"])
+
+    def test_run_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig6", "--scale", "galactic"])

@@ -1,0 +1,67 @@
+"""Validation harness and its CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.validation import (
+    StrategyAgreement,
+    ValidationReport,
+    validate_engine,
+)
+
+
+class TestValidateEngine:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return validate_engine(
+            sample_size=128, initial_dataset=256, inserts=4096,
+            refresh_period=512, trials=8, seed=3,
+        )
+
+    def test_covers_all_strategies(self, report):
+        assert [a.strategy for a in report.agreements] == [
+            "immediate", "candidate", "full"
+        ]
+
+    def test_engine_agrees_with_reference(self, report):
+        assert report.passed(tolerance=0.15)
+        for agreement in report.agreements:
+            assert agreement.relative_error < 0.15, agreement.strategy
+
+    def test_immediate_has_no_offline_cost(self, report):
+        immediate = report.agreements[0]
+        assert immediate.reference_offline == 0.0
+        assert immediate.engine_offline == 0.0
+
+    def test_summary_is_readable(self, report):
+        text = report.summary()
+        assert "immediate" in text
+        assert "candidate" in text
+        assert "rel err" in text
+        assert "worst relative error" in text
+
+
+class TestStrategyAgreement:
+    def test_relative_error(self):
+        agreement = StrategyAgreement("candidate", 1.0, 1.0, 1.0, 1.2, 5)
+        assert agreement.relative_error == pytest.approx(0.1)
+
+    def test_zero_reference(self):
+        agreement = StrategyAgreement("candidate", 0.0, 0.0, 0.0, 0.0, 5)
+        assert agreement.relative_error == 0.0
+        nonzero = StrategyAgreement("candidate", 0.0, 0.0, 0.1, 0.0, 5)
+        assert nonzero.relative_error == float("inf")
+
+
+class TestCliValidate:
+    def test_validate_command_passes(self, capsys):
+        code = main(["validate", "--trials", "5", "--tolerance", "0.25"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASSED" in out
+
+    def test_validate_command_fails_with_impossible_tolerance(self, capsys):
+        code = main(["validate", "--trials", "3", "--tolerance", "0.0000001"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED" in out

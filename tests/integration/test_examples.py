@@ -1,0 +1,40 @@
+"""Every example script must run clean end to end.
+
+The examples double as living documentation; this guard keeps them from
+rotting.  Each runs in-process (so import errors and assertion failures
+surface as test failures) with stdout captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 3, "the repo promises at least three examples"
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch, tmp_path):
+    if script == "disk_calibration.py":
+        # Point its scratch file at the test tmpdir and shrink the run.
+        monkeypatch.setattr(sys, "argv", ["disk_calibration.py", str(tmp_path)])
+        import repro.storage.real_disk as real_disk
+
+        original = real_disk.calibrate_disk
+
+        def quick(path, file_blocks=256, probes=64, **kwargs):
+            return original(path, file_blocks=256, probes=64, **kwargs)
+
+        monkeypatch.setattr(real_disk, "calibrate_disk", quick)
+    else:
+        monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+    assert "Traceback" not in out

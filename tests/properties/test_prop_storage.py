@@ -1,0 +1,135 @@
+"""Property-based tests: codecs, files, and the closed-form math."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.refresh.math import (
+    displacement_probability,
+    expected_candidates,
+    expected_candidates_exact,
+    expected_displaced,
+)
+from repro.dbms.sample_view import RowRecordCodec
+from repro.dbms.staging import Change, ChangeKind, ChangeRecordCodec
+from repro.dbms.table import Row
+from repro.storage.block_device import SimulatedBlockDevice
+from repro.storage.cost_model import CostModel
+from repro.storage.files import LogFile, SampleFile
+from repro.storage.records import BytesRecordCodec, IntRecordCodec
+
+INT64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+
+class TestCodecProperties:
+    @given(value=INT64)
+    @settings(max_examples=200)
+    def test_int_codec_roundtrip(self, value):
+        codec = IntRecordCodec()
+        assert codec.decode(codec.encode(value)) == value
+
+    @given(payload=st.binary(max_size=30))
+    @settings(max_examples=200)
+    def test_bytes_codec_roundtrip(self, payload):
+        codec = BytesRecordCodec()
+        assert codec.decode(codec.encode(payload)) == payload
+
+    @given(key=INT64, value=INT64)
+    @settings(max_examples=100)
+    def test_row_codec_roundtrip(self, key, value):
+        codec = RowRecordCodec()
+        assert codec.decode(codec.encode(Row(key, value))) == Row(key, value)
+
+    @given(kind=st.sampled_from(list(ChangeKind)), key=INT64, value=INT64)
+    @settings(max_examples=100)
+    def test_change_codec_roundtrip(self, kind, key, value):
+        codec = ChangeRecordCodec()
+        change = Change(kind, Row(key, value))
+        assert codec.decode(codec.encode(change)) == change
+
+
+class TestLogFileModel:
+    """Model-based: a LogFile behaves like a Python list under
+    append/flush/truncate/read, whatever the operation sequence."""
+
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("append"), st.integers(-1000, 1000)),
+                st.tuples(st.just("flush"), st.none()),
+                st.tuples(st.just("truncate"), st.none()),
+            ),
+            max_size=400,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_list_model(self, ops):
+        log = LogFile(
+            SimulatedBlockDevice(CostModel(), "log"), IntRecordCodec()
+        )
+        model = []
+        for op, arg in ops:
+            if op == "append":
+                log.append(arg)
+                model.append(arg)
+            elif op == "flush":
+                log.flush()
+            else:
+                log.truncate()
+                model = []
+        assert len(log) == len(model)
+        assert log.peek_all() == model
+        assert log.scan_all() == model
+
+
+class TestSampleFileModel:
+    @given(
+        size=st.integers(min_value=1, max_value=300),
+        writes=st.lists(
+            st.tuples(st.integers(0, 10_000), st.integers(-1000, 1000)),
+            max_size=100,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_random_writes_match_list_model(self, size, writes):
+        sample = SampleFile(
+            SimulatedBlockDevice(CostModel(), "s"), IntRecordCodec(), size
+        )
+        model = list(range(size))
+        sample.initialize(model)
+        for index, value in writes:
+            index %= size
+            sample.write_random(index, value)
+            model[index] = value
+        assert sample.peek_all() == model
+        assert list(sample.scan()) == model
+
+
+class TestMathProperties:
+    @given(
+        m=st.integers(min_value=1, max_value=10_000),
+        c=st.integers(min_value=0, max_value=100_000),
+    )
+    @settings(max_examples=200)
+    def test_displacement_bounds(self, m, c):
+        p = displacement_probability(m, c)
+        assert 0.0 <= p <= 1.0
+        psi = expected_displaced(m, c)
+        assert 0.0 <= psi <= min(m, c) + 1e-9
+
+    @given(
+        m=st.integers(min_value=1, max_value=1000),
+        r0=st.integers(min_value=1, max_value=10**6),
+        n=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=200)
+    def test_candidate_expectation_bounds_and_approximation(self, m, r0, n):
+        if r0 < m:
+            r0 = m
+        exact = expected_candidates_exact(m, r0, n)
+        approx = expected_candidates(m, r0, n)
+        assert 0.0 <= exact <= n + 1e-9
+        # Integral bounds of the harmonic tail: the exact sum lies within
+        # one leading term below the logarithm.
+        assert exact <= approx + 1e-6
+        assert approx - exact <= m / r0 + 1e-6

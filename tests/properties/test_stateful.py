@@ -1,0 +1,196 @@
+"""Hypothesis stateful (model-based) tests.
+
+Drive the storage structures and the sample view with arbitrary operation
+sequences and check them against trivially correct in-memory models after
+every step.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.policies import ManualPolicy
+from repro.core.refresh.stack import StackRefresh
+from repro.dbms.sample_view import SampleView
+from repro.dbms.table import Table
+from repro.rng.random_source import RandomSource
+from repro.storage.block_device import SimulatedBlockDevice
+from repro.storage.cost_model import CostModel
+from repro.storage.files import LogFile, SampleFile
+from repro.storage.records import IntRecordCodec
+
+
+class LogFileMachine(RuleBasedStateMachine):
+    """LogFile == list under append/flush/truncate/scan/indexed reads."""
+
+    def __init__(self):
+        super().__init__()
+        self.log = LogFile(
+            SimulatedBlockDevice(CostModel(), "log"), IntRecordCodec()
+        )
+        self.model = []
+
+    @rule(value=st.integers(-(2**40), 2**40))
+    def append(self, value):
+        self.log.append(value)
+        self.model.append(value)
+
+    @rule()
+    def flush(self):
+        self.log.flush()
+
+    @rule()
+    def truncate(self):
+        self.log.truncate()
+        self.model = []
+
+    @rule(data=st.data())
+    def read_indexed(self, data):
+        if not self.model:
+            return
+        count = len(self.model)
+        indices = sorted(
+            data.draw(
+                st.sets(st.integers(0, count - 1), min_size=1, max_size=10)
+            )
+        )
+        assert self.log.read_indexed_sorted(indices) == [
+            self.model[i] for i in indices
+        ]
+
+    @invariant()
+    def lengths_agree(self):
+        assert len(self.log) == len(self.model)
+
+    @invariant()
+    def contents_agree(self):
+        assert self.log.peek_all() == self.model
+
+
+class SampleFileMachine(RuleBasedStateMachine):
+    """SampleFile == list under mixed random and sequential writes."""
+
+    SIZE = 200
+
+    def __init__(self):
+        super().__init__()
+        self.sample = SampleFile(
+            SimulatedBlockDevice(CostModel(), "s"), IntRecordCodec(), self.SIZE
+        )
+        self.model = list(range(self.SIZE))
+        self.sample.initialize(self.model)
+
+    @rule(index=st.integers(0, SIZE - 1), value=st.integers(-(2**40), 2**40))
+    def write_random(self, index, value):
+        self.sample.write_random(index, value)
+        self.model[index] = value
+
+    @rule(data=st.data())
+    def write_sequential(self, data):
+        pairs = sorted(
+            data.draw(
+                st.dictionaries(
+                    st.integers(0, self.SIZE - 1),
+                    st.integers(-(2**40), 2**40),
+                    max_size=12,
+                )
+            ).items()
+        )
+        self.sample.write_sequential(pairs)
+        for index, value in pairs:
+            self.model[index] = value
+
+    @rule(index=st.integers(0, SIZE - 1))
+    def read_random(self, index):
+        assert self.sample.read_random(index) == self.model[index]
+
+    @invariant()
+    def scan_agrees(self):
+        assert list(self.sample.scan()) == self.model
+
+
+class SampleViewMachine(RuleBasedStateMachine):
+    """SampleView stays consistent with its table under any change stream.
+
+    Consistency here is the refresh contract: after a refresh, every
+    sample row exists in the table with the current value, keys are
+    distinct, and the dataset-size bookkeeping matches the table.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.table = Table()
+        self.next_key = 0
+        for _ in range(60):
+            self._fresh_key()
+        self.view = SampleView(
+            self.table,
+            sample_size=20,
+            rng=RandomSource(seed=42),
+            algorithm=StackRefresh(),
+            cost_model=CostModel(),
+            allow_deletes=True,
+            policy=ManualPolicy(),
+        )
+
+    def _fresh_key(self):
+        key = self.next_key
+        self.next_key += 1
+        self.table.insert(key, key * 7)
+        return key
+
+    @rule()
+    def insert(self):
+        self._fresh_key()
+
+    @rule(data=st.data())
+    def update(self, data):
+        keys = [row.key for row in self.table.rows()]
+        if not keys:
+            return
+        key = data.draw(st.sampled_from(keys))
+        self.table.update(key, data.draw(st.integers(-1000, 1000)))
+
+    @rule(data=st.data())
+    def delete(self, data):
+        keys = [row.key for row in self.table.rows()]
+        # Keep the table comfortably larger than the sample so deletions
+        # cannot empty it.
+        if len(keys) <= 30:
+            return
+        self.table.delete(data.draw(st.sampled_from(keys)))
+
+    @rule()
+    def refresh(self):
+        self.view.refresh()
+        live = {row.key: row.value for row in self.table.rows()}
+        rows = self.view.rows()
+        keys = [row.key for row in rows]
+        assert len(set(keys)) == len(keys)
+        for row in rows:
+            assert row.key in live
+            assert live[row.key] == row.value
+        assert self.view.dataset_size == len(self.table)
+
+    @invariant()
+    def sample_size_bounded(self):
+        assert 1 <= self.view.sample_size <= 20
+
+
+TestLogFileStateful = LogFileMachine.TestCase
+TestLogFileStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestSampleFileStateful = SampleFileMachine.TestCase
+TestSampleFileStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestSampleViewStateful = SampleViewMachine.TestCase
+TestSampleViewStateful.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,143 @@
+"""MT19937: reference behaviour, state management, integer generation."""
+
+import random
+
+import pytest
+
+from repro.rng.mt19937 import MT19937, MTState
+
+
+class TestReferenceBehaviour:
+    def test_matches_cpython_init_by_array_stream(self):
+        # CPython's random module is the reference MT19937; seeding it with a
+        # multi-word integer exercises init_by_array with those words.
+        key = [0x123, 0x234, 0x345, 0x456]
+        as_int = sum(k << (32 * i) for i, k in enumerate(key))
+        reference = random.Random(as_int)
+        ours = MT19937()
+        ours.seed_by_array(key)
+        assert [ours.next_uint32() for _ in range(1000)] == [
+            reference.getrandbits(32) for _ in range(1000)
+        ]
+
+    def test_matches_cpython_doubles(self):
+        key = [12345]
+        reference = random.Random(12345)
+        ours = MT19937()
+        ours.seed_by_array(key)
+        assert [ours.random() for _ in range(500)] == [
+            reference.random() for _ in range(500)
+        ]
+
+    def test_default_seed_is_reference_5489(self):
+        # The reference C implementation uses 5489 when unseeded.
+        assert MT19937().next_uint32() == MT19937(seed=5489).next_uint32()
+
+    def test_distinct_seeds_distinct_streams(self):
+        a = [MT19937(seed=1).next_uint32() for _ in range(4)]
+        b = [MT19937(seed=2).next_uint32() for _ in range(4)]
+        assert a != b
+
+
+class TestStateManagement:
+    def test_snapshot_replays_exactly(self):
+        gen = MT19937(seed=99)
+        gen.jump_discard(700)  # cross a block regeneration boundary
+        state = gen.getstate()
+        first = [gen.next_uint32() for _ in range(1300)]
+        gen.setstate(state)
+        assert first == [gen.next_uint32() for _ in range(1300)]
+
+    def test_snapshot_is_isolated_from_generator(self):
+        gen = MT19937(seed=5)
+        state = gen.getstate()
+        gen.jump_discard(10)
+        gen2 = MT19937(seed=7)
+        gen2.setstate(state)
+        gen3 = MT19937(seed=5)
+        assert gen2.next_uint32() == gen3.next_uint32()
+
+    def test_state_snapshot_roundtrips_doubles(self):
+        gen = MT19937(seed=123)
+        state = gen.getstate()
+        doubles = [gen.random() for _ in range(10)]
+        gen.setstate(state)
+        assert doubles == [gen.random() for _ in range(10)]
+
+    def test_setstate_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            MT19937().setstate(("not", "a", "state"))
+
+    def test_state_validates_shape(self):
+        with pytest.raises(ValueError):
+            MTState(key=(1, 2, 3), position=0)
+        with pytest.raises(ValueError):
+            MTState(key=tuple(range(624)), position=9999)
+
+
+class TestIntegerGeneration:
+    def test_randrange_bounds(self):
+        gen = MT19937(seed=42)
+        for n in (1, 2, 3, 7, 100, 2**31, 2**40):
+            for _ in range(200):
+                assert 0 <= gen.randrange(n) < n
+
+    def test_randrange_one_never_draws(self):
+        gen = MT19937(seed=0)
+        before = gen.getstate()
+        assert gen.randrange(1) == 0
+        assert gen.getstate() == before
+
+    def test_randrange_rejects_bad_bounds(self):
+        gen = MT19937()
+        with pytest.raises(ValueError):
+            gen.randrange(0)
+        with pytest.raises(ValueError):
+            gen.randrange(-5)
+        with pytest.raises(ValueError):
+            gen.randrange(2**65)
+
+    def test_randrange_no_modulo_bias(self):
+        # n = 3 would show clear bias under naive modulo on 32 bits; with
+        # rejection sampling the three cells should be near-equal.
+        gen = MT19937(seed=7)
+        counts = [0, 0, 0]
+        trials = 30_000
+        for _ in range(trials):
+            counts[gen.randrange(3)] += 1
+        expected = trials / 3
+        for count in counts:
+            assert abs(count - expected) < 5 * (expected**0.5)
+
+    def test_seed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MT19937(seed=-1)
+
+    def test_seed_by_array_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MT19937().seed_by_array([])
+
+    def test_jump_discard_advances(self):
+        a = MT19937(seed=3)
+        b = MT19937(seed=3)
+        a.jump_discard(5)
+        for _ in range(5):
+            b.next_uint32()
+        assert a.next_uint32() == b.next_uint32()
+
+    def test_jump_discard_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MT19937().jump_discard(-1)
+
+
+class TestDoubleQuality:
+    def test_doubles_in_unit_interval(self):
+        gen = MT19937(seed=11)
+        values = [gen.random() for _ in range(10_000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_doubles_mean_near_half(self):
+        gen = MT19937(seed=13)
+        values = [gen.random() for _ in range(20_000)]
+        mean = sum(values) / len(values)
+        assert abs(mean - 0.5) < 0.01

@@ -1,0 +1,87 @@
+"""Simulated block device: data round-trips and access metering."""
+
+import pytest
+
+from repro.storage.block_device import SimulatedBlockDevice
+from repro.storage.cost_model import CostModel
+
+
+@pytest.fixture
+def device():
+    return SimulatedBlockDevice(CostModel(), "test")
+
+
+BLOCK = 4096
+
+
+class TestDataPath:
+    def test_roundtrip(self, device):
+        payload = bytes(range(256)) * 16
+        device.write_block(3, payload, sequential=True)
+        assert device.read_block(3, sequential=True) == payload
+
+    def test_unwritten_blocks_read_zero(self, device):
+        assert device.read_block(7, sequential=False) == b"\x00" * BLOCK
+
+    def test_write_requires_exact_block_size(self, device):
+        with pytest.raises(ValueError):
+            device.write_block(0, b"short", sequential=True)
+
+    def test_discard_zeroes_block(self, device):
+        device.write_block(2, b"\x01" * BLOCK, sequential=True)
+        device.discard(2)
+        assert device.peek_block(2) == b"\x00" * BLOCK
+
+    def test_discard_from_drops_suffix(self, device):
+        for i in range(5):
+            device.write_block(i, bytes([i]) * BLOCK, sequential=True)
+        device.discard_from(2)
+        assert device.allocated_blocks == 2
+        assert device.peek_block(4) == b"\x00" * BLOCK
+        assert device.peek_block(1) == b"\x01" * BLOCK
+
+    def test_negative_index_rejected(self, device):
+        with pytest.raises(ValueError):
+            device.read_block(-1, sequential=True)
+        with pytest.raises(ValueError):
+            device.write_block(-1, b"\x00" * BLOCK, sequential=True)
+
+
+class TestMetering:
+    def test_reads_and_writes_classified(self, device):
+        device.write_block(0, b"\x00" * BLOCK, sequential=True)
+        device.write_block(5, b"\x00" * BLOCK, sequential=False)
+        device.read_block(0, sequential=True)
+        device.read_block(5, sequential=False)
+        stats = device.cost_model.stats
+        assert stats.seq_writes == 1
+        assert stats.random_writes == 1
+        assert stats.seq_reads == 1
+        assert stats.random_reads == 1
+
+    def test_peek_and_poke_are_free(self, device):
+        device.poke_block(1, b"\x07" * BLOCK)
+        assert device.peek_block(1) == b"\x07" * BLOCK
+        assert device.cost_model.stats.total_accesses == 0
+
+    def test_poke_requires_exact_block_size(self, device):
+        with pytest.raises(ValueError):
+            device.poke_block(0, b"xx")
+
+    def test_discard_is_free(self, device):
+        device.poke_block(0, b"\x01" * BLOCK)
+        device.discard(0)
+        device.discard_from(0)
+        assert device.cost_model.stats.total_accesses == 0
+
+    def test_shared_cost_model_aggregates_devices(self):
+        model = CostModel()
+        a = SimulatedBlockDevice(model, "a")
+        b = SimulatedBlockDevice(model, "b")
+        a.write_block(0, b"\x00" * BLOCK, sequential=True)
+        b.write_block(0, b"\x00" * BLOCK, sequential=False)
+        assert model.stats.seq_writes == 1
+        assert model.stats.random_writes == 1
+
+    def test_repr_mentions_name(self, device):
+        assert "test" in repr(device)

@@ -1,0 +1,116 @@
+"""Disk parameters, access statistics, and cost weighting."""
+
+import pytest
+
+from repro.storage.cost_model import AccessStats, CostModel, DiskParameters, PAPER_DISK
+
+
+class TestDiskParameters:
+    def test_paper_defaults(self):
+        # The Sec. 6.1 calibration the paper published.
+        assert PAPER_DISK.block_size == 4096
+        assert PAPER_DISK.element_size == 32
+        assert PAPER_DISK.elements_per_block == 128
+        assert PAPER_DISK.seq_read_ms == pytest.approx(0.094)
+        assert PAPER_DISK.random_read_ms == pytest.approx(8.45)
+        assert PAPER_DISK.random_write_ms == pytest.approx(5.50)
+
+    def test_blocks_for_elements_rounds_up(self):
+        assert PAPER_DISK.blocks_for_elements(0) == 0
+        assert PAPER_DISK.blocks_for_elements(1) == 1
+        assert PAPER_DISK.blocks_for_elements(128) == 1
+        assert PAPER_DISK.blocks_for_elements(129) == 2
+        assert PAPER_DISK.blocks_for_elements(1_000_000) == 7813
+
+    def test_blocks_for_elements_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PAPER_DISK.blocks_for_elements(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskParameters(block_size=0)
+        with pytest.raises(ValueError):
+            DiskParameters(element_size=0)
+        with pytest.raises(ValueError):
+            DiskParameters(block_size=16, element_size=32)
+        with pytest.raises(ValueError):
+            DiskParameters(seq_read_ms=-1.0)
+
+
+class TestAccessStats:
+    def test_record_and_totals(self):
+        stats = AccessStats()
+        stats.record("read", sequential=True, count=3)
+        stats.record("read", sequential=False)
+        stats.record("write", sequential=True, count=2)
+        stats.record("write", sequential=False, count=5)
+        assert stats.seq_reads == 3
+        assert stats.random_reads == 1
+        assert stats.seq_writes == 2
+        assert stats.random_writes == 5
+        assert stats.total_accesses == 11
+
+    def test_record_rejects_bad_input(self):
+        stats = AccessStats()
+        with pytest.raises(ValueError):
+            stats.record("append", sequential=True)
+        with pytest.raises(ValueError):
+            stats.record("read", sequential=True, count=-1)
+
+    def test_cost_seconds_weighting(self):
+        stats = AccessStats(seq_reads=1000, seq_writes=1000, random_reads=10, random_writes=10)
+        expected_ms = 1000 * 0.094 + 1000 * 0.094 + 10 * 8.45 + 10 * 5.50
+        assert stats.cost_seconds() == pytest.approx(expected_ms / 1000.0)
+
+    def test_random_io_dominates_cost(self):
+        # One random read costs ~90 sequential block accesses -- the whole
+        # premise of the paper's sequential-only refresh algorithms.
+        one_random = AccessStats(random_reads=1).cost_seconds()
+        ninety_seq = AccessStats(seq_reads=89).cost_seconds()
+        assert one_random > ninety_seq
+
+    def test_add_and_subtract(self):
+        a = AccessStats(seq_reads=5, random_writes=2)
+        b = AccessStats(seq_reads=1, seq_writes=3)
+        total = a + b
+        assert total.seq_reads == 6
+        assert total.seq_writes == 3
+        assert total.random_writes == 2
+        diff = total - b
+        assert diff.seq_reads == a.seq_reads
+        assert diff.random_writes == a.random_writes
+
+    def test_copy_is_independent(self):
+        a = AccessStats(seq_reads=1)
+        b = a.copy()
+        b.seq_reads = 99
+        assert a.seq_reads == 1
+
+    def test_reset(self):
+        a = AccessStats(seq_reads=1, seq_writes=2, random_reads=3, random_writes=4)
+        a.reset()
+        assert a.total_accesses == 0
+
+
+class TestCostModel:
+    def test_charge_accumulates(self):
+        model = CostModel()
+        model.charge("read", sequential=True, count=4)
+        model.charge("write", sequential=False)
+        assert model.stats.seq_reads == 4
+        assert model.stats.random_writes == 1
+
+    def test_checkpoint_isolates_phase(self):
+        model = CostModel()
+        model.charge("read", sequential=True, count=10)
+        mark = model.checkpoint()
+        model.charge("write", sequential=False, count=2)
+        delta = model.since(mark)
+        assert delta.seq_reads == 0
+        assert delta.random_writes == 2
+
+    def test_cost_seconds_uses_own_disk(self):
+        fast = DiskParameters(random_read_ms=1.0, random_write_ms=1.0)
+        model = CostModel(disk=fast)
+        model.charge("read", sequential=False)
+        assert model.cost_seconds() == pytest.approx(0.001)

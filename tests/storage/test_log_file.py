@@ -1,0 +1,208 @@
+"""LogFile: append-only logs, rewind charging, forward readers."""
+
+import pytest
+
+from repro.storage.block_device import SimulatedBlockDevice
+from repro.storage.cost_model import CostModel
+from repro.storage.files import LogFile
+from repro.storage.records import IntRecordCodec
+
+
+def make():
+    model = CostModel()
+    log = LogFile(SimulatedBlockDevice(model, "log"), IntRecordCodec())
+    return log, model
+
+
+EPB = 128  # elements per block with 32-byte records
+
+
+class TestAppend:
+    def test_first_block_write_is_random_then_sequential(self):
+        # The rewind seek of Sec. 6.2: one random I/O per log generation.
+        log, model = make()
+        for i in range(EPB * 3):
+            log.append(i)
+        assert model.stats.random_writes == 1
+        assert model.stats.seq_writes == 2
+
+    def test_no_io_until_block_fills(self):
+        log, model = make()
+        for i in range(EPB - 1):
+            log.append(i)
+        assert model.stats.total_accesses == 0
+        log.append(-1)
+        assert model.stats.total_accesses == 1
+
+    def test_flush_writes_partial_block_once(self):
+        log, model = make()
+        for i in range(10):
+            log.append(i)
+        log.flush()
+        log.flush()  # unchanged tail: no extra charge
+        assert model.stats.random_writes == 1
+        assert model.stats.seq_writes == 0
+
+    def test_flush_empty_log_is_free(self):
+        log, model = make()
+        log.flush()
+        assert model.stats.total_accesses == 0
+
+    def test_append_after_flush_rewrites_tail_block(self):
+        log, model = make()
+        log.append(1)
+        log.flush()
+        for i in range(EPB):
+            log.append(i)
+        # tail block filled (rewritten) once more, sequential this time
+        assert model.stats.random_writes == 1
+        assert model.stats.seq_writes == 1
+
+    def test_extend(self):
+        log, _ = make()
+        log.extend(range(5))
+        assert len(log) == 5
+
+
+class TestTruncateAndReuse:
+    def test_truncate_resets_and_next_write_pays_seek(self):
+        log, model = make()
+        for i in range(EPB):
+            log.append(i)
+        log.truncate()
+        assert len(log) == 0
+        for i in range(EPB):
+            log.append(i)
+        assert model.stats.random_writes == 2  # one per generation
+
+    def test_truncate_discards_content(self):
+        log, _ = make()
+        log.extend(range(10))
+        log.truncate()
+        log.extend(range(100, 103))
+        assert log.peek_all() == [100, 101, 102]
+
+
+class TestReads:
+    def test_scan_all_roundtrip_and_charges(self):
+        log, model = make()
+        log.extend(range(EPB * 2 + 10))
+        mark = model.checkpoint()
+        assert log.scan_all() == list(range(EPB * 2 + 10))
+        delta = model.since(mark)
+        # flush (1 write for the partial tail) + 3 block reads
+        assert delta.seq_reads == 3
+
+    def test_read_indexed_sorted_charges_per_distinct_block(self):
+        log, model = make()
+        log.extend(range(EPB * 4))
+        mark = model.checkpoint()
+        values = log.read_indexed_sorted([0, 1, EPB * 2, EPB * 3 + 5])
+        assert values == [0, 1, EPB * 2, EPB * 3 + 5]
+        assert model.since(mark).seq_reads == 3  # blocks 0, 2, 3
+
+    def test_read_indexed_sorted_requires_ascending(self):
+        log, _ = make()
+        log.extend(range(10))
+        with pytest.raises(ValueError):
+            log.read_indexed_sorted([3, 3])
+        with pytest.raises(ValueError):
+            log.read_indexed_sorted([5, 2])
+
+    def test_read_indexed_sorted_bounds(self):
+        log, _ = make()
+        log.extend(range(10))
+        with pytest.raises(IndexError):
+            log.read_indexed_sorted([10])
+
+    def test_sequential_reader_matches_batch(self):
+        log, model = make()
+        log.extend(range(EPB * 3))
+        reader = log.open_sequential_reader()
+        mark = model.checkpoint()
+        values = [reader.read(i) for i in (0, 5, EPB, EPB * 2 + 1)]
+        assert values == [0, 5, EPB, EPB * 2 + 1]
+        assert model.since(mark).seq_reads == 3
+
+    def test_sequential_reader_enforces_forward_order(self):
+        log, _ = make()
+        log.extend(range(10))
+        reader = log.open_sequential_reader()
+        reader.read(4)
+        with pytest.raises(ValueError):
+            reader.read(4)
+        with pytest.raises(IndexError):
+            reader.read(999)
+
+    def test_read_one_random_charges_random_read(self):
+        log, model = make()
+        log.extend(range(EPB * 2))
+        mark = model.checkpoint()
+        assert log.read_one_random(EPB + 3) == EPB + 3
+        assert model.since(mark).random_reads == 1
+
+    def test_peek_is_free_even_for_buffered_tail(self):
+        log, model = make()
+        log.extend(range(EPB + 7))
+        mark = model.checkpoint()
+        assert log.peek(EPB + 3) == EPB + 3  # still in the append buffer
+        assert log.peek(5) == 5
+        assert model.since(mark).total_accesses == 0
+        with pytest.raises(IndexError):
+            log.peek(EPB + 7)
+
+    def test_block_count_includes_partial_tail(self):
+        log, _ = make()
+        assert log.block_count == 0
+        log.extend(range(EPB))
+        assert log.block_count == 1
+        log.append(0)
+        assert log.block_count == 2
+
+
+class TestReopen:
+    def test_reopen_restores_count_and_tail(self):
+        log, model = make()
+        log.extend(range(EPB + 50))
+        log.flush()
+        # "Crash": a fresh LogFile over the same device.
+        fresh = LogFile(log._device, IntRecordCodec())
+        mark = model.checkpoint()
+        fresh.reopen(EPB + 50)
+        # Tail reload costs one random read (the recovery seek).
+        assert model.since(mark).random_reads == 1
+        assert len(fresh) == EPB + 50
+        assert fresh.peek_all() == list(range(EPB + 50))
+        fresh.append(-1)
+        assert fresh.peek_all() == list(range(EPB + 50)) + [-1]
+
+    def test_reopen_block_aligned_log_costs_nothing(self):
+        log, model = make()
+        log.extend(range(EPB * 2))
+        fresh = LogFile(log._device, IntRecordCodec())
+        mark = model.checkpoint()
+        fresh.reopen(EPB * 2)
+        assert model.since(mark).total_accesses == 0
+        # Appends continue sequentially (same generation).
+        fresh.extend(range(EPB))
+        assert model.since(mark).seq_writes == 1
+        assert model.since(mark).random_writes == 0
+
+    def test_reopen_empty_pays_seek_on_first_write(self):
+        log, model = make()
+        fresh = LogFile(log._device, IntRecordCodec())
+        fresh.reopen(0)
+        fresh.extend(range(EPB))
+        assert model.stats.random_writes == 1
+
+    def test_reopen_requires_fresh_log(self):
+        log, _ = make()
+        log.append(1)
+        with pytest.raises(RuntimeError):
+            log.reopen(5)
+
+    def test_reopen_rejects_negative(self):
+        log, _ = make()
+        fresh = LogFile(log._device, IntRecordCodec())
+        with pytest.raises(ValueError):
+            fresh.reopen(-1)

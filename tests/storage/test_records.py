@@ -1,0 +1,58 @@
+"""Record codecs: fixed-size encoding round-trips."""
+
+import pytest
+
+from repro.storage.records import BytesRecordCodec, IntRecordCodec
+
+
+class TestIntRecordCodec:
+    def test_roundtrip(self):
+        codec = IntRecordCodec(32)
+        for value in (0, 1, -1, 2**62, -(2**62), 123456789):
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_record_size(self):
+        assert IntRecordCodec(32).record_size == 32
+        assert len(IntRecordCodec(32).encode(7)) == 32
+        assert len(IntRecordCodec(8).encode(7)) == 8
+
+    def test_rejects_undersized_records(self):
+        with pytest.raises(ValueError):
+            IntRecordCodec(4)
+
+    def test_decode_validates_length(self):
+        codec = IntRecordCodec(32)
+        with pytest.raises(ValueError):
+            codec.decode(b"\x00" * 31)
+
+
+class TestBytesRecordCodec:
+    def test_roundtrip(self):
+        codec = BytesRecordCodec(32)
+        for payload in (b"", b"a", b"hello world", b"\x00\x01\x02", b"x" * 30):
+            assert codec.decode(codec.encode(payload)) == payload
+
+    def test_payload_with_trailing_zeroes_preserved(self):
+        codec = BytesRecordCodec(32)
+        payload = b"abc\x00\x00"
+        assert codec.decode(codec.encode(payload)) == payload
+
+    def test_rejects_oversized_payload(self):
+        codec = BytesRecordCodec(16)
+        with pytest.raises(ValueError):
+            codec.encode(b"x" * 15)
+
+    def test_rejects_undersized_records(self):
+        with pytest.raises(ValueError):
+            BytesRecordCodec(2)
+
+    def test_decode_validates_length(self):
+        codec = BytesRecordCodec(32)
+        with pytest.raises(ValueError):
+            codec.decode(b"\x00" * 16)
+
+    def test_decode_detects_corrupt_length_prefix(self):
+        codec = BytesRecordCodec(8)
+        record = b"\xff\xff" + b"\x00" * 6  # length 65535 > capacity
+        with pytest.raises(ValueError):
+            codec.decode(record)

@@ -1,0 +1,61 @@
+"""Stream sampling operator: online path decoupled from refresh."""
+
+import pytest
+
+from repro.core.refresh.stack import StackRefresh
+from repro.stream.operator import StreamSampleOperator
+from tests.conftest import make_maintainer
+
+
+def make_operator(refresh_interval=100, seed=1):
+    maintainer, sample, cost = make_maintainer(
+        "candidate", StackRefresh(), seed=seed,
+        sample_size=30, initial_dataset=100,
+    )
+    return StreamSampleOperator(maintainer, refresh_interval), sample, cost
+
+
+class TestOperator:
+    def test_process_never_refreshes(self):
+        operator, _, _ = make_operator(refresh_interval=10)
+        for v in range(100, 200):
+            operator.process(v)
+        assert operator.refreshes == 0
+        assert operator.refresh_due()
+
+    def test_refresh_resets_due_flag(self):
+        operator, _, _ = make_operator(refresh_interval=10)
+        operator.process_many(range(100, 115))
+        assert operator.refresh_due()
+        operator.refresh()
+        assert not operator.refresh_due()
+        assert operator.refreshes == 1
+
+    def test_counts_tuples(self):
+        operator, _, _ = make_operator()
+        consumed = operator.process_many(range(100, 175))
+        assert consumed == 75
+        assert operator.tuples_processed == 75
+
+    def test_online_cost_stays_online(self):
+        operator, _, _ = make_operator(refresh_interval=50)
+        operator.process_many(range(100, 400))
+        maintainer = operator.maintainer
+        assert maintainer.stats.offline.total_accesses == 0
+        operator.refresh()
+        assert maintainer.stats.offline.total_accesses > 0
+
+    def test_sample_valid_after_stream(self):
+        operator, sample, _ = make_operator(refresh_interval=200)
+        for v in range(100, 1100):
+            operator.process(v)
+            if operator.refresh_due():
+                operator.refresh()
+        values = sample.peek_all()
+        assert len(set(values)) == 30
+        assert all(0 <= v < 1100 for v in values)
+
+    def test_rejects_bad_interval(self):
+        maintainer, _, _ = make_maintainer("candidate", StackRefresh(), seed=2)
+        with pytest.raises(ValueError):
+            StreamSampleOperator(maintainer, 0)

@@ -1,0 +1,24 @@
+"""Executable documentation: doctests embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.rng.mt19937
+import repro.rng.random_source
+import repro.rng.sequential
+
+MODULES = [
+    repro,
+    repro.rng.mt19937,
+    repro.rng.random_source,
+    repro.rng.sequential,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0
