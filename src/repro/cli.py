@@ -67,6 +67,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments and scales")
 
+    from repro.devtools.cli import add_lint_parser
+
+    add_lint_parser(sub)
+
     validate = sub.add_parser(
         "validate",
         help="check the vectorised engine against the reference implementation",
@@ -95,6 +99,11 @@ def main(argv: list[str] | None = None) -> int:
                 f"inserts={scale.inserts:>12,}  period={scale.refresh_period:,}"
             )
         return 0
+
+    if args.command == "lint":
+        from repro.devtools.cli import run_lint_command
+
+        return run_lint_command(args)
 
     if args.command == "validate":
         from repro.experiments.validation import validate_engine

@@ -42,7 +42,10 @@ class NaiveCandidateRefresh:
         for ordinal in range(1, total + 1):
             element = reader.read(ordinal)
             slot = rng.randrange(sample.size)
-            sample.write_random(slot, element)
+            # The naive strawman *is* random-write I/O -- that inefficiency
+            # is the point of the Sec. 3 baselines, not a violation of the
+            # Alg. 1-3 sequential-only claim.
+            sample.write_random(slot, element)  # repro-lint: disable=IO001
             touched.add(slot)
         return RefreshResult(
             candidates=total,
@@ -90,7 +93,9 @@ class NaiveFullRefresh:
             seen += 1
             if rng.random() * seen < sample.size:
                 slot = rng.randrange(sample.size)
-                sample.write_random(slot, element)
+                # Same as above: the Sec. 3.1 baseline pays random writes
+                # by design; the cost experiments rely on it doing so.
+                sample.write_random(slot, element)  # repro-lint: disable=IO001
                 touched.add(slot)
                 accepted += 1
         return RefreshResult(

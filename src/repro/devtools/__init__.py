@@ -1,0 +1,51 @@
+"""Developer tooling: the ``repro lint`` static-analysis framework.
+
+The paper's correctness claims rest on invariants the type system cannot
+see -- every random draw must flow through the resettable PRNG in
+:mod:`repro.rng` (or Nomem Refresh's state replay silently breaks), and
+Algorithms 1-3 must touch disk strictly sequentially (or the cost model
+quietly prices the wrong access pattern).  This package makes those
+domain invariants machine-checked: an AST-based rule framework with a
+registry (:mod:`~repro.devtools.registry`), per-line and per-file
+suppression comments (:mod:`~repro.devtools.suppressions`), text/JSON
+reporters (:mod:`~repro.devtools.reporters`) and a ``repro lint`` CLI
+subcommand (:mod:`~repro.devtools.cli`).
+
+Rule ids, the invariants they protect and the suppression syntax are
+documented in ``docs/static_analysis.md``.
+
+Programmatic use::
+
+    from repro.devtools import run_lint
+    findings = run_lint()            # lints the installed repro package
+    findings = run_lint(root=path)   # lint a different tree
+"""
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import (
+    ModuleRule,
+    ProjectRule,
+    Rule,
+    all_rules,
+    register,
+    resolve_rules,
+)
+from repro.devtools.reporters import format_json, format_text
+from repro.devtools.runner import LintRunner, run_lint
+from repro.devtools.suppressions import SuppressionIndex, parse_suppressions
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "ModuleRule",
+    "ProjectRule",
+    "register",
+    "all_rules",
+    "resolve_rules",
+    "LintRunner",
+    "run_lint",
+    "SuppressionIndex",
+    "parse_suppressions",
+    "format_text",
+    "format_json",
+]

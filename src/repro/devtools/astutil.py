@@ -1,0 +1,51 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["dotted_name", "literal_all"]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute chains; None for anything non-dotted."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def literal_all(tree: ast.Module) -> list[str] | None:
+    """The module's ``__all__`` if it is assigned a literal; else None.
+
+    Entries appended later via ``__all__ += [...]`` / ``.extend`` are
+    honoured when they are literal lists too.
+    """
+    names: list[str] | None = None
+    for node in tree.body:
+        target = None
+        value = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+            target, value = node.target, node.value
+        if not (isinstance(target, ast.Name) and target.id == "__all__"):
+            continue
+        try:
+            chunk = ast.literal_eval(value)
+        except ValueError:
+            continue
+        if not isinstance(chunk, (list, tuple)):
+            continue
+        if isinstance(node, ast.AugAssign):
+            if names is not None:
+                names.extend(str(n) for n in chunk)
+        else:
+            names = [str(n) for n in chunk]
+    return names

@@ -1,0 +1,93 @@
+"""The ``repro lint`` subcommand.
+
+Self-contained so :mod:`repro.cli` only needs two hooks:
+:func:`add_lint_parser` to declare the subcommand and
+:func:`run_lint_command` to execute it.  Exit status: 0 when clean, 1
+when findings exist, 2 on usage errors (unknown rule ids).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.devtools.registry import all_rules
+from repro.devtools.reporters import format_json, format_text
+from repro.devtools.runner import LintRunner, default_root
+
+__all__ = ["add_lint_parser", "run_lint_command"]
+
+
+def add_lint_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser:
+    lint = sub.add_parser(
+        "lint",
+        help="check the tree against the paper's RNG/I-O discipline rules",
+        description=(
+            "AST-based invariant checker: enforces the paper's RNG "
+            "discipline (RNG001), sequential-only refresh I/O (IO001), "
+            "cost-model timing (TIME001) and friends. See "
+            "docs/static_analysis.md."
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--root",
+        default=None,
+        help=(
+            "directory treated as the package root for path-scoped rules "
+            "(default: the installed repro package)"
+        ),
+    )
+    lint.add_argument(
+        "--format",
+        default="text",
+        choices=("text", "json"),
+        help="report format",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return lint
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule_id, rule in sorted(all_rules().items()):
+            print(f"{rule_id:<8} {rule.title}")
+        return 0
+    rule_ids = (
+        [r for r in args.rules.split(",") if r.strip()] if args.rules else None
+    )
+    missing = [p for p in args.paths or [] if not Path(p).exists()]
+    if missing:
+        print(
+            f"repro lint: no such file or directory: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        runner = LintRunner(
+            root=Path(args.root) if args.root else default_root(),
+            rules=rule_ids,
+        )
+    except KeyError as exc:
+        print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    findings = runner.run(args.paths or None)
+    if args.format == "json":
+        print(format_json(findings, rules=runner.rules), end="")
+    else:
+        print(format_text(findings), end="")
+    return 1 if findings else 0

@@ -1,0 +1,44 @@
+"""Finding: one rule violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """A single lint violation.
+
+    Ordered by location so reports are stable regardless of the order in
+    which rules ran.
+    """
+
+    path: str
+    """Path of the offending file, relative to the lint root (posix)."""
+
+    line: int
+    """1-based line number."""
+
+    col: int
+    """0-based column offset (ast convention)."""
+
+    rule_id: str = field(compare=False)
+    """Identifier of the rule that fired (e.g. ``"RNG001"``)."""
+
+    message: str = field(compare=False)
+    """Human-readable explanation of the violation."""
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` -- the text-reporter line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

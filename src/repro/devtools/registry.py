@@ -1,0 +1,89 @@
+"""Rule registry.
+
+Rules self-register at import time via the :func:`register` decorator;
+:func:`all_rules` lazily imports :mod:`repro.devtools.rules` so that
+importing the registry alone stays cheap and cycle-free.
+
+Two rule flavours exist:
+
+* :class:`ModuleRule` -- visited once per parsed module (the common case);
+* :class:`ProjectRule` -- sees every module at once, for cross-file
+  invariants such as API001's export consistency check.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import TYPE_CHECKING, Iterable, Type
+
+from repro.devtools.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.devtools.runner import ModuleContext, ProjectContext
+
+__all__ = ["Rule", "ModuleRule", "ProjectRule", "register", "all_rules", "resolve_rules"]
+
+
+class Rule:
+    """Base class carrying rule metadata.
+
+    Subclasses set three class attributes:
+
+    * ``id`` -- stable identifier (``"RNG001"``), used in reports and
+      suppression comments;
+    * ``title`` -- one-line summary;
+    * ``rationale`` -- which paper invariant the rule protects.
+    """
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+
+class ModuleRule(Rule):
+    """A rule checked independently against each module's AST."""
+
+    def check(self, ctx: "ModuleContext") -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule needing a whole-tree view (cross-file invariants)."""
+
+    def check_project(self, ctx: "ProjectContext") -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate *cls* and add it to the registry."""
+    instance = cls()
+    if not instance.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if instance.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.id!r}")
+    _REGISTRY[instance.id] = instance
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """The full registry, importing the built-in rule suite on first use."""
+    importlib.import_module("repro.devtools.rules")
+    return dict(_REGISTRY)
+
+
+def resolve_rules(ids: Iterable[str] | None = None) -> list[Rule]:
+    """Return the rules named by *ids* (all rules when *ids* is None)."""
+    registry = all_rules()
+    if ids is None:
+        return [registry[key] for key in sorted(registry)]
+    resolved = []
+    for rule_id in ids:
+        key = rule_id.strip().upper()
+        if key not in registry:
+            known = ", ".join(sorted(registry))
+            raise KeyError(f"unknown rule {rule_id!r} (known: {known})")
+        resolved.append(registry[key])
+    return resolved

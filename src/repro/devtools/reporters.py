@@ -1,0 +1,40 @@
+"""Reporters: render a list of findings as text or JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule
+
+__all__ = ["format_text", "format_json"]
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    """GCC-style ``path:line:col: RULE message`` lines plus a summary."""
+    lines = [f.render() for f in findings]
+    if findings:
+        rules = sorted({f.rule_id for f in findings})
+        lines.append(
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+            f"({', '.join(rules)})"
+        )
+    else:
+        lines.append("0 findings")
+    return "\n".join(lines) + "\n"
+
+
+def format_json(
+    findings: Sequence[Finding], rules: Iterable[Rule] | None = None
+) -> str:
+    """Machine-readable report (stable key order, trailing newline)."""
+    payload: dict[str, object] = {
+        "findings": [f.to_dict() for f in findings],
+        "count": len(findings),
+    }
+    if rules is not None:
+        payload["rules"] = [
+            {"id": r.id, "title": r.title} for r in sorted(rules, key=lambda r: r.id)
+        ]
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"

@@ -1,0 +1,12 @@
+"""Built-in rule suite; importing this package populates the registry."""
+
+from repro.devtools.rules import (  # noqa: F401  (imported for registration)
+    api001,
+    arg001,
+    flt001,
+    io001,
+    rng001,
+    time001,
+)
+
+__all__ = ["api001", "arg001", "flt001", "io001", "rng001", "time001"]

@@ -1,0 +1,101 @@
+"""API001: the package's public surface is consistent.
+
+Every name re-exported from ``repro/__init__.py`` (i.e. listed in its
+``__all__``) must also appear in ``__all__`` of the submodule it is
+imported from.  This keeps ``from repro import X`` and
+``from repro.core import *`` views of the API in lockstep, so a refactor
+cannot silently orphan a public name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.astutil import literal_all
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ProjectRule, register
+from repro.devtools.runner import ModuleContext, ProjectContext
+
+__all__ = ["ExportConsistencyRule"]
+
+PACKAGE = "repro"
+
+
+def _submodule_rel_path(module: str) -> list[str]:
+    """Candidate root-relative paths for a dotted submodule name."""
+    if module == PACKAGE:
+        return ["__init__.py"]
+    if module.startswith(PACKAGE + "."):
+        module = module[len(PACKAGE) + 1 :]
+    stem = module.replace(".", "/")
+    return [f"{stem}/__init__.py", f"{stem}.py"]
+
+
+@register
+class ExportConsistencyRule(ProjectRule):
+    id = "API001"
+    title = "root exports must appear in their submodule's __all__"
+    rationale = (
+        "the root __init__ is a re-export surface; a name absent from its "
+        "source module's __all__ is an API that star-imports cannot see"
+    )
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        root_init = ctx.module("__init__.py")
+        if root_init is None:
+            return
+        exported = literal_all(root_init.tree)
+        if exported is None:
+            return
+        exported_set = set(exported)
+        for node in root_init.tree.body:
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            module = node.module or ""
+            if node.level:  # relative import: resolve against the package
+                module = f"{PACKAGE}.{module}" if module else PACKAGE
+            if module != PACKAGE and not module.startswith(PACKAGE + "."):
+                continue
+            submodule = self._find(ctx, module)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                public_name = alias.asname or alias.name
+                if public_name not in exported_set:
+                    continue
+                if submodule is None:
+                    yield self._finding(
+                        root_init,
+                        node.lineno,
+                        f"'{public_name}' is imported from '{module}', "
+                        "which the linter cannot locate under the root",
+                    )
+                    continue
+                sub_all = literal_all(submodule.tree)
+                if sub_all is None:
+                    yield self._finding(
+                        root_init,
+                        node.lineno,
+                        f"'{public_name}' comes from '{module}', which has "
+                        "no literal __all__",
+                    )
+                elif alias.name not in sub_all:
+                    yield self._finding(
+                        root_init,
+                        node.lineno,
+                        f"'{alias.name}' is exported at the root but missing "
+                        f"from __all__ of '{module}'",
+                    )
+
+    def _find(self, ctx: ProjectContext, module: str) -> ModuleContext | None:
+        for rel in _submodule_rel_path(module):
+            found = ctx.module(rel)
+            if found is not None:
+                return found
+        return None
+
+    def _finding(self, ctx: ModuleContext, line: int, message: str) -> Finding:
+        return Finding(
+            path=ctx.rel_path, line=line, col=0, rule_id=self.id, message=message
+        )

@@ -1,0 +1,63 @@
+"""ARG001: no mutable default arguments.
+
+A mutable default (``def f(x=[])``) is evaluated once at definition time
+and shared across calls.  In a library whose correctness claims rest on
+refreshes being independent replays, state accidentally carried between
+calls through a default is particularly insidious; the rule applies to
+the whole tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ModuleRule, register
+from repro.devtools.runner import ModuleContext
+
+__all__ = ["MutableDefaultRule"]
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+@register
+class MutableDefaultRule(ModuleRule):
+    id = "ARG001"
+    title = "no mutable default arguments"
+    rationale = (
+        "defaults are evaluated once and shared across calls; hidden "
+        "cross-call state breaks replay independence"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = [
+                *node.args.defaults,
+                *(d for d in node.args.kw_defaults if d is not None),
+            ]
+            for default in defaults:
+                if _is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield Finding(
+                        path=ctx.rel_path,
+                        line=default.lineno,
+                        col=default.col_offset,
+                        rule_id=self.id,
+                        message=(
+                            f"mutable default argument in '{name}': use "
+                            "None and construct inside the function"
+                        ),
+                    )

@@ -1,0 +1,62 @@
+"""FLT001: no exact float equality in the sampling math.
+
+The acceptance probabilities, geometric-skip math and bound computations
+in ``core/`` and ``rng/`` operate on quantities like ``M/(|R|+i)`` that
+are *never* exactly representable; an ``==`` against a float is either a
+latent bug or an intentional boundary check that deserves a justifying
+suppression comment.  The rule flags ``==`` / ``!=`` comparisons in which
+any operand is a float literal (including negated literals).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ModuleRule, register
+from repro.devtools.runner import ModuleContext
+
+__all__ = ["FloatEqualityRule"]
+
+SCOPED_DIRS = ("core", "rng")
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@register
+class FloatEqualityRule(ModuleRule):
+    id = "FLT001"
+    title = "no ==/!= against float literals in sampling math"
+    rationale = (
+        "acceptance probabilities and skip math are inexact; equality "
+        "tests silently depend on rounding (core/ and rng/ only)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_dir(*SCOPED_DIRS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    yield Finding(
+                        path=ctx.rel_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule_id=self.id,
+                        message=(
+                            "exact ==/!= against a float literal: use "
+                            "math.isclose / an epsilon, or suppress with a "
+                            "comment justifying the exact boundary"
+                        ),
+                    )
+                    break

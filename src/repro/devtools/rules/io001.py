@@ -1,0 +1,55 @@
+"""IO001: refresh algorithms perform sequential I/O only.
+
+Algorithms 1-3 (Array, Stack and Nomem Refresh, Sec. 4) owe their entire
+cost advantage to reading the log and rewriting the sample *sequentially*;
+the paper's cost model (Sec. 6.1) prices their refresh phase with
+sequential access times.  A random-access call slipping into
+``core/refresh/`` would keep tests green while silently invalidating
+every cost figure.  This rule bans the random-access and raw block-level
+entry points of the storage layer inside that package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ModuleRule, register
+from repro.devtools.runner import ModuleContext
+
+__all__ = ["SequentialIoRule", "BANNED_METHODS"]
+
+BANNED_METHODS = frozenset(
+    {"read_random", "write_random", "peek_block", "poke_block"}
+)
+
+
+@register
+class SequentialIoRule(ModuleRule):
+    id = "IO001"
+    title = "core/refresh/ must not issue random-access I/O"
+    rationale = (
+        "Algs. 1-3 claim sequential-only refresh I/O; the cost model "
+        "prices them accordingly (paper Sec. 4, 6.1)."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_dir("core/refresh"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in BANNED_METHODS:
+                yield Finding(
+                    path=ctx.rel_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id=self.id,
+                    message=(
+                        f"call to '{func.attr}' inside core/refresh/: "
+                        "Algs. 1-3 are sequential-only; random access here "
+                        "invalidates the cost model's pricing"
+                    ),
+                )

@@ -1,0 +1,118 @@
+"""RNG001: all randomness flows through ``repro.rng``.
+
+Nomem Refresh (Alg. 3, Sec. 4.3) and the full-log adapter (Sec. 5) are
+correct only because every variate they consume comes from a PRNG whose
+state can be snapshotted and replayed.  Any module that touches the
+stdlib ``random`` module or ``numpy.random`` directly creates a second,
+unmanaged stream of randomness: global-state seeding would silently
+decouple replays from the original draw sequence.  This rule bans both
+outside ``rng/`` itself; seeded numpy generators must come from
+:func:`repro.rng.numpy_generator`.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Iterable, Iterator, Tuple
+
+from repro.devtools.astutil import dotted_name
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ModuleRule, register
+from repro.devtools.runner import ModuleContext
+
+__all__ = ["RngDisciplineRule", "TYPE_ONLY_NAMES"]
+
+# Attribute names under numpy.random that denote *types* (annotations,
+# isinstance checks), not stateful draws or generator construction.
+TYPE_ONLY_NAMES = frozenset({"Generator", "BitGenerator", "SeedSequence"})
+
+# (rel-path glob, attribute) pairs exempted by configuration rather than
+# per-line comments.  Empty by default: the tree routes every numpy
+# generator through repro.rng.numpy_generator.
+DEFAULT_ALLOWLIST: Tuple[Tuple[str, str], ...] = ()
+
+
+@register
+class RngDisciplineRule(ModuleRule):
+    id = "RNG001"
+    title = "randomness must flow through repro.rng"
+    rationale = (
+        "Nomem Refresh (Alg. 3) replays PRNG state; random draws outside "
+        "repro.rng cannot be snapshotted or replayed (paper Sec. 4.3, 5)."
+    )
+
+    def __init__(
+        self, allowlist: Iterable[Tuple[str, str]] = DEFAULT_ALLOWLIST
+    ) -> None:
+        self.allowlist = tuple(allowlist)
+
+    def _allowed(self, rel_path: str, attr: str) -> bool:
+        return any(
+            fnmatch(rel_path, pattern) and attr == name
+            for pattern, name in self.allowlist
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.in_dir("rng"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self._finding(
+                            ctx, node, "import of stdlib 'random'"
+                        )
+                    elif alias.name in ("numpy.random",) or alias.name.startswith(
+                        "numpy.random."
+                    ):
+                        yield self._finding(ctx, node, f"import of '{alias.name}'")
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "random" or module.startswith("random."):
+                    yield self._finding(ctx, node, "import from stdlib 'random'")
+                elif module == "numpy" and any(
+                    alias.name == "random" for alias in node.names
+                ):
+                    yield self._finding(ctx, node, "import of 'numpy.random'")
+                elif module == "numpy.random" or module.startswith("numpy.random."):
+                    flagged = [
+                        alias.name
+                        for alias in node.names
+                        if alias.name not in TYPE_ONLY_NAMES
+                    ]
+                    if flagged:
+                        yield self._finding(
+                            ctx,
+                            node,
+                            f"import of numpy.random names {flagged}",
+                        )
+            elif isinstance(node, ast.Attribute):
+                dotted = dotted_name(node)
+                if dotted is None:
+                    continue
+                parts = dotted.split(".")
+                if parts[0] in ("np", "numpy") and len(parts) >= 3 and parts[1] == "random":
+                    attr = parts[2]
+                    if attr in TYPE_ONLY_NAMES or self._allowed(ctx.rel_path, attr):
+                        continue
+                    yield self._finding(ctx, node, f"use of '{dotted}'")
+                elif parts[0] == "random" and len(parts) == 2:
+                    # stdlib module attribute; bare names called 'random'
+                    # (locals, params) don't produce Attribute roots here
+                    # unless they shadow the module, which the import rule
+                    # above already catches.
+                    yield self._finding(ctx, node, f"use of '{dotted}'")
+
+    def _finding(self, ctx: ModuleContext, node: ast.AST, what: str) -> Finding:
+        return Finding(
+            path=ctx.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.id,
+            message=(
+                f"{what}: draw randomness via repro.rng (RandomSource, or "
+                "numpy_generator(seed) for numpy Generators) so PRNG state "
+                "stays replayable"
+            ),
+        )

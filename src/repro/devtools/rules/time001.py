@@ -1,0 +1,80 @@
+"""TIME001: cost-accounted paths must not read wall clocks.
+
+The paper's evaluation counts block accesses and weights them with the
+disk parameters in :mod:`repro.storage.cost_model` (Sec. 6.1); results
+are therefore deterministic and hardware-independent.  A stray
+``time.time()`` / ``perf_counter()`` inside the core, storage, dbms or
+stream layers would mix wall-clock noise into quantities the cost model
+is supposed to derive.  Timing belongs either in the cost model itself or
+in explicitly-calibrating code (``storage/real_disk.py`` carries a
+file-wide suppression for exactly that reason).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.astutil import dotted_name
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ModuleRule, register
+from repro.devtools.runner import ModuleContext
+
+__all__ = ["WallClockRule", "CLOCK_NAMES", "ACCOUNTED_DIRS"]
+
+CLOCK_NAMES = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+ACCOUNTED_DIRS = ("core", "storage", "dbms", "stream")
+
+# The cost model is the one sanctioned owner of timing concepts.
+EXEMPT_FILES = frozenset({"storage/cost_model.py"})
+
+
+@register
+class WallClockRule(ModuleRule):
+    id = "TIME001"
+    title = "no wall-clock reads in cost-model-accounted paths"
+    rationale = (
+        "costs are derived from counted block accesses priced by "
+        "storage/cost_model.py (paper Sec. 6.1), never from wall clocks"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_dir(*ACCOUNTED_DIRS) or ctx.rel_path in EXEMPT_FILES:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and (node.module or "") == "time":
+                clocks = [a.name for a in node.names if a.name in CLOCK_NAMES]
+                if clocks:
+                    yield self._finding(ctx, node, f"import of time.{clocks[0]}")
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if (
+                    dotted is not None
+                    and dotted.startswith("time.")
+                    and dotted.split(".", 1)[1] in CLOCK_NAMES
+                ):
+                    yield self._finding(ctx, node, f"call to {dotted}()")
+
+    def _finding(self, ctx: ModuleContext, node: ast.AST, what: str) -> Finding:
+        return Finding(
+            path=ctx.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.id,
+            message=(
+                f"{what} in a cost-accounted path: derive costs from "
+                "counted accesses via storage/cost_model.py, not wall clocks"
+            ),
+        )

@@ -1,0 +1,154 @@
+"""Lint driver: walk a tree, parse each file once, dispatch every rule.
+
+The runner owns the expensive work (one ``ast.parse`` per file) and hands
+the shared :class:`ModuleContext` to each rule, so adding rules does not
+re-read or re-parse anything.  Suppression comments are applied here,
+after all rules ran, so individual rules never need to know about them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ModuleRule, ProjectRule, Rule, resolve_rules
+from repro.devtools.suppressions import SuppressionIndex, parse_suppressions
+
+__all__ = ["ModuleContext", "ProjectContext", "LintRunner", "run_lint", "default_root"]
+
+PARSE_ERROR_RULE = "E000"
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (the default lint target)."""
+    return Path(__file__).resolve().parents[1]
+
+
+@dataclass
+class ModuleContext:
+    """Everything a :class:`~repro.devtools.registry.ModuleRule` may need."""
+
+    root: Path
+    path: Path
+    rel_path: str
+    source: str
+    tree: ast.Module
+    suppressions: SuppressionIndex
+
+    def in_dir(self, *prefixes: str) -> bool:
+        """True if this module lives under any of the given root-relative dirs."""
+        return any(
+            self.rel_path == p or self.rel_path.startswith(p.rstrip("/") + "/")
+            for p in prefixes
+        )
+
+
+@dataclass
+class ProjectContext:
+    """Whole-tree view handed to :class:`~repro.devtools.registry.ProjectRule`."""
+
+    root: Path
+    modules: list[ModuleContext] = field(default_factory=list)
+
+    def module(self, rel_path: str) -> ModuleContext | None:
+        for ctx in self.modules:
+            if ctx.rel_path == rel_path:
+                return ctx
+        return None
+
+
+def _iter_python_files(paths: Sequence[Path]) -> list[Path]:
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+class LintRunner:
+    """Run a set of rules over one source tree.
+
+    ``root`` is the directory treated as the package root; every reported
+    path and every rule's directory scoping is relative to it.  For the
+    real tree this is ``src/repro``; tests point it at scratch trees that
+    mimic the package layout.
+    """
+
+    def __init__(
+        self,
+        root: Path | str | None = None,
+        rules: Iterable[str] | Iterable[Rule] | None = None,
+    ) -> None:
+        self.root = Path(root).resolve() if root is not None else default_root()
+        if rules is not None and all(isinstance(r, Rule) for r in rules):
+            self.rules: list[Rule] = list(rules)  # type: ignore[arg-type]
+        else:
+            self.rules = resolve_rules(rules)  # type: ignore[arg-type]
+
+    def run(self, paths: Sequence[Path | str] | None = None) -> list[Finding]:
+        targets = (
+            [Path(p).resolve() for p in paths] if paths else [self.root]
+        )
+        findings: list[Finding] = []
+        project = ProjectContext(root=self.root)
+        for path in _iter_python_files(targets):
+            try:
+                rel = path.relative_to(self.root).as_posix()
+            except ValueError:
+                rel = path.as_posix()
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                findings.append(
+                    Finding(
+                        path=rel,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        rule_id=PARSE_ERROR_RULE,
+                        message=f"could not parse file: {exc.msg}",
+                    )
+                )
+                continue
+            ctx = ModuleContext(
+                root=self.root,
+                path=path,
+                rel_path=rel,
+                source=source,
+                tree=tree,
+                suppressions=parse_suppressions(source),
+            )
+            project.modules.append(ctx)
+            for rule in self.rules:
+                if isinstance(rule, ModuleRule):
+                    findings.extend(rule.check(ctx))
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                findings.extend(rule.check_project(project))
+        return sorted(self._apply_suppressions(findings, project))
+
+    def _apply_suppressions(
+        self, findings: Iterable[Finding], project: ProjectContext
+    ) -> list[Finding]:
+        by_rel = {ctx.rel_path: ctx.suppressions for ctx in project.modules}
+        kept = []
+        for finding in findings:
+            index = by_rel.get(finding.path)
+            if index is not None and index.is_suppressed(finding.rule_id, finding.line):
+                continue
+            kept.append(finding)
+        return kept
+
+
+def run_lint(
+    root: Path | str | None = None,
+    paths: Sequence[Path | str] | None = None,
+    rules: Iterable[str] | None = None,
+) -> list[Finding]:
+    """One-call entry point: lint *paths* (default: all of *root*)."""
+    return LintRunner(root=root, rules=rules).run(paths)

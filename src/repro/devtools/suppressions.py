@@ -1,0 +1,55 @@
+"""Suppression-comment parsing.
+
+Two forms are recognised, mirroring the usual linter conventions:
+
+* ``# repro-lint: disable=RULE1,RULE2`` as a trailing comment silences the
+  listed rules on that physical line only;
+* ``# repro-lint: disable-file=RULE1,RULE2`` on a comment-only line
+  silences the listed rules for the whole file (conventionally placed near
+  the top, next to a comment justifying the exemption).
+
+``all`` is accepted in place of a rule list.  Suppressions are parsed
+textually (not from the AST) so they also apply to findings on lines the
+parser attributes to a different node of a multi-line statement.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["SuppressionIndex", "parse_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+@dataclass
+class SuppressionIndex:
+    """Parsed suppression directives for one file."""
+
+    file_wide: set[str] = field(default_factory=set)
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if "all" in self.file_wide or rule_id in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        return rules is not None and ("all" in rules or rule_id in rules)
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Scan *source* line by line for ``repro-lint`` directives."""
+    index = SuppressionIndex()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+        if match.group("kind") == "disable-file":
+            index.file_wide |= rules
+        else:
+            index.by_line.setdefault(lineno, set()).update(rules)
+    return index

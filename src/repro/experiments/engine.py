@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.rng.numpy_source import numpy_generator
 from repro.storage.cost_model import AccessStats, DiskParameters, PAPER_DISK
 
 __all__ = [
@@ -352,7 +353,7 @@ def simulate_strategy(
     """
     if strategy not in ("immediate", "candidate", "full"):
         raise ValueError(f"unknown strategy: {strategy!r}")
-    rng = np.random.default_rng(seed)
+    rng = numpy_generator(seed)
     positions = candidate_positions(rng, sample_size, initial_dataset, inserts)
     cost = MaintenanceCost(candidates=int(positions.size))
 

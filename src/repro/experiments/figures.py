@@ -26,6 +26,7 @@ from repro.core.refresh.nomem import span_of_gaps
 from repro.core.refresh.stack import select_final_indexes
 from repro.experiments import engine
 from repro.experiments.scaling import Scale, resolve_scale
+from repro.rng.numpy_source import numpy_generator
 from repro.rng.random_source import RandomSource
 from repro.storage.cost_model import AccessStats, PAPER_DISK, DiskParameters
 from repro.storage.memory import MT19937_STATE_BYTES, INDEX_BYTES
@@ -69,7 +70,7 @@ def _checkpoints(inserts: int) -> list[int]:
 def fig6(scale: "str | Scale" = "default", seed: int = 0) -> SeriesResult:
     """Online cost over time, no intermediate refresh (Fig. 6)."""
     s = resolve_scale(scale)
-    rng = np.random.default_rng(seed)
+    rng = numpy_generator(seed)
     positions = engine.candidate_positions(
         rng, s.sample_size, s.initial_dataset, s.inserts
     )
@@ -107,7 +108,7 @@ def fig6(scale: "str | Scale" = "default", seed: int = 0) -> SeriesResult:
 def fig7(scale: "str | Scale" = "default", seed: int = 0) -> SeriesResult:
     """Total cost over time, refresh every base period (Fig. 7)."""
     s = resolve_scale(scale)
-    rng = np.random.default_rng(seed)
+    rng = numpy_generator(seed)
     positions = engine.candidate_positions(
         rng, s.sample_size, s.initial_dataset, s.inserts
     )
@@ -431,7 +432,7 @@ def fig14(scale: "str | Scale" = "default", seed: int = 0) -> SeriesResult:
     sample prefix (cost scaled by ``1 - f``, the paper's own accounting).
     """
     s = resolve_scale(scale)
-    rng = np.random.default_rng(seed)
+    rng = numpy_generator(seed)
     positions = engine.candidate_positions(
         rng, s.sample_size, s.initial_dataset, s.inserts
     )

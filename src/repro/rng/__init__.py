@@ -16,6 +16,7 @@ can be generated twice without buffering it.  This subpackage provides:
 """
 
 from repro.rng.mt19937 import MT19937
+from repro.rng.numpy_source import numpy_generator
 from repro.rng.random_source import RandomSource
 from repro.rng.distributions import (
     geometric_variate,
@@ -27,6 +28,7 @@ from repro.rng.sequential import SequentialSampler, sequential_sample
 __all__ = [
     "MT19937",
     "RandomSource",
+    "numpy_generator",
     "geometric_variate",
     "reservoir_skip",
     "reservoir_skip_z",

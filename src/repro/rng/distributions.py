@@ -57,7 +57,9 @@ def geometric_variate(rng: UniformSource, p: float) -> int:
     if not 0.0 < p <= 1.0:
         raise ValueError(f"geometric success probability must be in (0, 1], got {p}")
     u = 1.0 - rng.random()  # u in (0, 1], avoids log(0)
-    if p == 1.0:
+    # Exact boundary, not rounding-sensitive math: p == 1.0 is the one
+    # value (already range-checked above) where log1p(-p) would be -inf.
+    if p == 1.0:  # repro-lint: disable=FLT001
         return 0
     return int(math.log(u) / math.log1p(-p))
 

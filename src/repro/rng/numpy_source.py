@@ -1,0 +1,27 @@
+"""Centralised construction of seeded numpy generators.
+
+The vectorised experiment engine (:mod:`repro.experiments.engine`) uses
+numpy's ``Generator`` for bulk uniform draws.  That is fine -- the engine
+realises candidate streams in closed form and never replays PRNG state --
+but generator *construction* still belongs in :mod:`repro.rng`: keeping
+every seeding site in one audited module is what lets the RNG001 lint
+rule guarantee that no other module can touch ``numpy.random``'s global
+state (which would silently break Nomem Refresh's snapshot/replay
+discipline, paper Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["numpy_generator"]
+
+
+def numpy_generator(seed: int = 0) -> np.random.Generator:
+    """A freshly seeded, self-contained ``numpy.random.Generator``.
+
+    Never seeds or reads numpy's legacy global state; each call returns an
+    independent PCG64 generator, so replay-based algorithms elsewhere in
+    the library are unaffected.
+    """
+    return np.random.default_rng(seed)

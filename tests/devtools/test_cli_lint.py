@@ -1,0 +1,90 @@
+"""CLI coverage for ``repro lint`` (text/JSON formats, --rules filter)."""
+
+import json
+import textwrap
+
+from repro.cli import main
+
+VIOLATING_TREE = {
+    "core/refresh/bad.py": """\
+        def refresh(sample, e):
+            sample.write_random(0, e)
+    """,
+    "experiments/entry.py": """\
+        import numpy as np
+        rng = np.random.default_rng(0)
+    """,
+}
+
+
+def write_tree(root, files=VIOLATING_TREE):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+def test_lint_clean_tree_exits_zero(capsys):
+    # No --root: lints the installed repro package, which must be clean.
+    assert main(["lint"]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_lint_violations_exit_nonzero_with_rule_file_line(tmp_path, capsys):
+    write_tree(tmp_path)
+    assert main(["lint", "--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "core/refresh/bad.py:2:" in out and "IO001" in out
+    assert "experiments/entry.py:2:" in out and "RNG001" in out
+    assert "2 findings" in out
+
+
+def test_lint_format_json(tmp_path, capsys):
+    write_tree(tmp_path)
+    assert main(["lint", "--root", str(tmp_path), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 2
+    assert {f["rule"] for f in payload["findings"]} == {"IO001", "RNG001"}
+    finding = next(f for f in payload["findings"] if f["rule"] == "IO001")
+    assert finding["path"] == "core/refresh/bad.py"
+    assert finding["line"] == 2
+    # The JSON report also carries the rule metadata that ran.
+    assert {r["id"] for r in payload["rules"]} >= {"IO001", "RNG001"}
+
+
+def test_lint_rules_filter(tmp_path, capsys):
+    write_tree(tmp_path)
+    assert main(["lint", "--root", str(tmp_path), "--rules", "IO001"]) == 1
+    out = capsys.readouterr().out
+    assert "IO001" in out and "RNG001" not in out
+
+    # Filtering to a rule nothing violates exits clean.
+    assert main(["lint", "--root", str(tmp_path), "--rules", "ARG001"]) == 0
+
+
+def test_lint_unknown_rule_is_usage_error(tmp_path, capsys):
+    assert main(["lint", "--root", str(tmp_path), "--rules", "NOPE"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_lint_missing_path_is_usage_error(tmp_path, capsys):
+    # A typo'd path must not silently report a clean tree.
+    missing = tmp_path / "does-not-exist"
+    assert main(["lint", "--root", str(tmp_path), str(missing)]) == 2
+    assert "no such file or directory" in capsys.readouterr().err
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RNG001", "IO001", "TIME001", "FLT001", "ARG001", "API001"):
+        assert rule_id in out
+
+
+def test_lint_explicit_paths_limit_scope(tmp_path, capsys):
+    write_tree(tmp_path)
+    target = tmp_path / "experiments"
+    assert main(["lint", "--root", str(tmp_path), str(target)]) == 1
+    out = capsys.readouterr().out
+    assert "RNG001" in out and "IO001" not in out

@@ -1,0 +1,20 @@
+"""Tier-1 gate: the real tree must satisfy every repro-lint invariant.
+
+This is the test that makes the paper's RNG- and I/O-discipline
+machine-checked on every PR: if a refactor routes a random draw around
+``repro.rng`` or slips random-access I/O into ``core/refresh/``, this
+fails with the rule id, file and line.
+"""
+
+from repro.devtools import all_rules, run_lint
+
+
+def test_src_tree_lints_clean():
+    findings = run_lint()
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"repro lint found violations:\n{rendered}"
+
+
+def test_full_rule_suite_is_registered():
+    expected = {"RNG001", "IO001", "TIME001", "FLT001", "ARG001", "API001"}
+    assert expected <= set(all_rules())

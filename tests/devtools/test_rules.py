@@ -1,0 +1,341 @@
+"""Per-rule fixtures: one known violation and one clean sample per rule,
+plus suppression-comment handling."""
+
+import textwrap
+
+import pytest
+
+from repro.devtools import LintRunner, run_lint
+from repro.devtools.rules.rng001 import RngDisciplineRule
+
+
+def make_tree(root, files):
+    """Write ``{rel_path: source}`` under *root*, creating parents."""
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+def lint(root, **kwargs):
+    return run_lint(root=root, **kwargs)
+
+
+def ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# RNG001
+# ---------------------------------------------------------------------------
+
+
+def test_rng001_flags_numpy_and_stdlib_random(tmp_path):
+    make_tree(tmp_path, {
+        "core/bad.py": """\
+            import numpy as np
+            rng = np.random.default_rng(0)
+        """,
+        "experiments/worse.py": """\
+            import random
+            x = random.random()
+        """,
+    })
+    findings = lint(tmp_path, rules=["RNG001"])
+    assert sorted((f.path, f.line) for f in findings) == [
+        ("core/bad.py", 2),
+        ("experiments/worse.py", 1),
+        ("experiments/worse.py", 2),
+    ]
+    assert all(f.rule_id == "RNG001" for f in findings)
+
+
+def test_rng001_clean_inside_rng_and_for_type_annotations(tmp_path):
+    make_tree(tmp_path, {
+        # rng/ owns generator construction by design.
+        "rng/source.py": """\
+            import numpy as np
+            def make(seed):
+                return np.random.default_rng(seed)
+        """,
+        # Type references to numpy.random.Generator are not draws.
+        "core/ok.py": """\
+            import numpy as np
+            def use(rng: np.random.Generator) -> float:
+                return rng.random()
+        """,
+    })
+    assert lint(tmp_path, rules=["RNG001"]) == []
+
+
+def test_rng001_module_allowlist(tmp_path):
+    make_tree(tmp_path, {
+        "experiments/entry.py": """\
+            import numpy as np
+            rng = np.random.default_rng(7)
+        """,
+    })
+    allowing = RngDisciplineRule(allowlist=(("experiments/*", "default_rng"),))
+    assert LintRunner(root=tmp_path, rules=[allowing]).run() == []
+    # The same tree fails under the default (empty) allowlist.
+    assert ids(lint(tmp_path, rules=["RNG001"])) == ["RNG001"]
+
+
+# ---------------------------------------------------------------------------
+# IO001
+# ---------------------------------------------------------------------------
+
+
+def test_io001_flags_random_access_in_refresh(tmp_path):
+    make_tree(tmp_path, {
+        "core/refresh/bad.py": """\
+            def refresh(sample, elements):
+                for i, e in enumerate(elements):
+                    sample.write_random(i, e)
+                sample.peek_block(0)
+        """,
+    })
+    findings = lint(tmp_path, rules=["IO001"])
+    assert [(f.rule_id, f.line) for f in findings] == [("IO001", 3), ("IO001", 4)]
+
+
+def test_io001_clean_outside_refresh_and_for_sequential_calls(tmp_path):
+    make_tree(tmp_path, {
+        # Random access is legal outside core/refresh/.
+        "baselines/immediate.py": """\
+            def place(sample, slot, e):
+                sample.write_random(slot, e)
+        """,
+        # Sequential I/O inside refresh is exactly what Algs. 1-3 do.
+        "core/refresh/good.py": """\
+            def refresh(sample, elements):
+                writer = sample.open_sequential_writer()
+                for e in elements:
+                    writer.write(e)
+        """,
+    })
+    assert lint(tmp_path, rules=["IO001"]) == []
+
+
+# ---------------------------------------------------------------------------
+# TIME001
+# ---------------------------------------------------------------------------
+
+
+def test_time001_flags_wall_clocks_in_accounted_paths(tmp_path):
+    make_tree(tmp_path, {
+        "storage/dev.py": """\
+            import time
+            started = time.perf_counter()
+        """,
+        "core/maint.py": """\
+            from time import monotonic
+        """,
+    })
+    findings = lint(tmp_path, rules=["TIME001"])
+    assert sorted((f.path, f.line) for f in findings) == [
+        ("core/maint.py", 1),
+        ("storage/dev.py", 2),
+    ]
+
+
+def test_time001_clean_in_cost_model_and_experiments(tmp_path):
+    make_tree(tmp_path, {
+        # The cost model is the sanctioned owner of timing.
+        "storage/cost_model.py": """\
+            import time
+            def stamp():
+                return time.perf_counter()
+        """,
+        # Experiments measure wall time legitimately (not cost-accounted).
+        "experiments/bench.py": """\
+            import time
+            t = time.perf_counter()
+        """,
+    })
+    assert lint(tmp_path, rules=["TIME001"]) == []
+
+
+# ---------------------------------------------------------------------------
+# FLT001
+# ---------------------------------------------------------------------------
+
+
+def test_flt001_flags_float_literal_equality(tmp_path):
+    make_tree(tmp_path, {
+        "core/math.py": """\
+            def degenerate(p):
+                exact = p == 1.0
+                negated = p != -0.5
+                return exact or negated
+        """,
+    })
+    findings = lint(tmp_path, rules=["FLT001"])
+    assert [(f.rule_id, f.line) for f in findings] == [("FLT001", 2), ("FLT001", 3)]
+
+
+def test_flt001_clean_for_ints_and_outside_scope(tmp_path):
+    make_tree(tmp_path, {
+        "core/math.py": """\
+            def empty(n):
+                return n == 0
+        """,
+        # experiments/ is out of FLT001's core+rng scope.
+        "experiments/plot.py": """\
+            def same(x):
+                return x == 1.0
+        """,
+    })
+    assert lint(tmp_path, rules=["FLT001"]) == []
+
+
+# ---------------------------------------------------------------------------
+# ARG001
+# ---------------------------------------------------------------------------
+
+
+def test_arg001_flags_mutable_defaults(tmp_path):
+    make_tree(tmp_path, {
+        "dbms/api.py": """\
+            def insert(rows=[]):
+                return rows
+            def tag(*, labels={}):
+                return labels
+        """,
+    })
+    findings = lint(tmp_path, rules=["ARG001"])
+    assert [(f.rule_id, f.line) for f in findings] == [("ARG001", 1), ("ARG001", 3)]
+
+
+def test_arg001_clean_for_none_and_immutable_defaults(tmp_path):
+    make_tree(tmp_path, {
+        "dbms/api.py": """\
+            def insert(rows=None, limit=10, name="s"):
+                return rows or []
+        """,
+    })
+    assert lint(tmp_path, rules=["ARG001"]) == []
+
+
+# ---------------------------------------------------------------------------
+# API001
+# ---------------------------------------------------------------------------
+
+
+def test_api001_flags_root_export_missing_from_submodule_all(tmp_path):
+    make_tree(tmp_path, {
+        "__init__.py": """\
+            from repro.core import Sampler
+            __all__ = ["Sampler"]
+        """,
+        "core/__init__.py": """\
+            class Sampler: pass
+            __all__ = []
+        """,
+    })
+    findings = lint(tmp_path, rules=["API001"])
+    assert ids(findings) == ["API001"]
+    assert "Sampler" in findings[0].message
+
+
+def test_api001_clean_when_alls_agree(tmp_path):
+    make_tree(tmp_path, {
+        "__init__.py": """\
+            from repro.core import Sampler
+            __version__ = "1.0"
+            __all__ = ["__version__", "Sampler"]
+        """,
+        "core/__init__.py": """\
+            class Sampler: pass
+            __all__ = ["Sampler"]
+        """,
+    })
+    assert lint(tmp_path, rules=["API001"]) == []
+
+
+# ---------------------------------------------------------------------------
+# Suppression comments
+# ---------------------------------------------------------------------------
+
+
+def test_per_line_suppression_silences_only_that_line(tmp_path):
+    make_tree(tmp_path, {
+        "core/refresh/naive.py": """\
+            def refresh(sample, e):
+                sample.write_random(0, e)  # repro-lint: disable=IO001
+                sample.write_random(1, e)
+        """,
+    })
+    findings = lint(tmp_path, rules=["IO001"])
+    assert [(f.rule_id, f.line) for f in findings] == [("IO001", 3)]
+
+
+def test_per_line_suppression_is_rule_specific(tmp_path):
+    make_tree(tmp_path, {
+        "core/refresh/naive.py": """\
+            def refresh(sample, e):
+                sample.write_random(0, e)  # repro-lint: disable=RNG001
+        """,
+    })
+    # A suppression for a different rule does not hide the IO001 finding.
+    assert ids(lint(tmp_path, rules=["IO001"])) == ["IO001"]
+
+
+def test_file_wide_suppression(tmp_path):
+    make_tree(tmp_path, {
+        "storage/calibrate.py": """\
+            # Calibration measures real hardware by design.
+            # repro-lint: disable-file=TIME001
+            import time
+            t0 = time.perf_counter()
+            t1 = time.monotonic()
+        """,
+    })
+    assert lint(tmp_path, rules=["TIME001"]) == []
+
+
+def test_disable_all_on_one_line(tmp_path):
+    make_tree(tmp_path, {
+        "core/refresh/x.py": """\
+            def f(sample, e):
+                sample.poke_block(0)  # repro-lint: disable=all
+        """,
+    })
+    assert lint(tmp_path, rules=["IO001"]) == []
+
+
+# ---------------------------------------------------------------------------
+# Framework behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_unparseable_file_reports_e000(tmp_path):
+    make_tree(tmp_path, {"core/broken.py": "def f(:\n"})
+    findings = lint(tmp_path)
+    assert [f.rule_id for f in findings] == ["E000"]
+    assert findings[0].path == "core/broken.py"
+
+
+def test_unknown_rule_id_raises(tmp_path):
+    with pytest.raises(KeyError, match="NOPE"):
+        lint(tmp_path, rules=["NOPE"])
+
+
+def test_findings_are_sorted_by_location(tmp_path):
+    make_tree(tmp_path, {
+        "core/refresh/z.py": """\
+            def f(sample, e):
+                sample.write_random(0, e)
+        """,
+        "core/a.py": """\
+            def g(x=[]):
+                return x == 0.5
+        """,
+    })
+    findings = lint(tmp_path)
+    assert [(f.path, f.line) for f in findings] == [
+        ("core/a.py", 1),
+        ("core/a.py", 2),
+        ("core/refresh/z.py", 2),
+    ]
