@@ -1,0 +1,119 @@
+"""Observability demo: trace an Array Refresh cycle, prove zero overhead.
+
+Runs the same candidate-logging maintenance cycle twice -- once bare,
+once under the :mod:`repro.obs` instrumentation layer -- and shows:
+
+1. per-phase trace spans for the refresh (log flush, in-memory merge,
+   log-scan + sample-rewrite) with durations in **cost-model seconds**
+   (counted block accesses weighted with the paper's Sec. 6.1 access
+   times -- never wall clocks) and per-span block counts;
+2. the per-device access histogram: block accesses keyed by
+   sequential/random x read/write for each named device;
+3. the zero-overhead property: the AccessStats the cost model records
+   are bit-identical with and without telemetry attached, because
+   instruments are pure in-memory accumulators that never touch a
+   block device.
+
+Run:  python examples/observability_demo.py
+"""
+
+from repro import (
+    ArrayRefresh,
+    CostModel,
+    Instrumentation,
+    IntRecordCodec,
+    LogFile,
+    RandomSource,
+    SampleFile,
+    SampleMaintainer,
+    SimulatedBlockDevice,
+    build_reservoir,
+)
+from repro.obs.exporters import prometheus_text
+
+SAMPLE_SIZE = 1_000
+INITIAL_DATASET = 5_000
+INSERTS = 20_000
+SEED = 2006
+
+
+def run_cycle(instrumented: bool):
+    """One insert window + one Array Refresh.
+
+    Returns ``(cost_model, instrumentation_or_None)``.  The facade is
+    built against the run's own cost model so span durations price the
+    exact block accesses this run charges.
+    """
+    cost = CostModel()
+    instrumentation = Instrumentation(cost_model=cost) if instrumented else None
+    rng = RandomSource(seed=SEED)
+    codec = IntRecordCodec()
+    sample = SampleFile(
+        SimulatedBlockDevice(cost, "sample-disk", instrumentation),
+        codec,
+        SAMPLE_SIZE,
+    )
+    initial, dataset_size = build_reservoir(range(INITIAL_DATASET), SAMPLE_SIZE, rng)
+    sample.initialize(initial)
+    maintainer = SampleMaintainer(
+        sample,
+        rng,
+        strategy="candidate",
+        initial_dataset_size=dataset_size,
+        log=LogFile(SimulatedBlockDevice(cost, "log-disk", instrumentation), codec),
+        algorithm=ArrayRefresh(),
+        cost_model=cost,
+        instrumentation=instrumentation,
+    )
+    maintainer.insert_many(range(INITIAL_DATASET, INITIAL_DATASET + INSERTS))
+    maintainer.refresh()
+    return cost, instrumentation
+
+
+def main() -> None:
+    bare, _ = run_cycle(instrumented=False)
+    traced, facade = run_cycle(instrumented=True)
+
+    # -- 1. per-phase refresh spans ----------------------------------------
+    print("refresh trace spans (durations in cost-model seconds):")
+    for span in facade.tracer.finished:
+        indent = "  " if span.parent is None else "    "
+        io = span.io
+        print(
+            f"{indent}{span.name:<20} {span.duration_seconds * 1000:>9.3f} ms   "
+            f"seq r/w {io.seq_reads}/{io.seq_writes}  "
+            f"random r/w {io.random_reads}/{io.random_writes}"
+        )
+    precompute = next(
+        s for s in facade.tracer.finished if s.name == "refresh.precompute"
+    )
+    assert precompute.blocks == 0, "the in-memory merge must do zero block I/O"
+    print("  (refresh.precompute touched 0 blocks: the merge is in-memory)")
+
+    # -- 2. per-device sequential/random access histogram ------------------
+    print("\nper-device block accesses:")
+    print(f"  {'device':<12} {'kind':<6} {'pattern':<8} {'blocks':>7}")
+    for counter in facade.registry:
+        if counter.name != "device.accesses":
+            continue
+        labels = dict(counter.labels)
+        print(
+            f"  {labels['device']:<12} {labels['kind']:<6} "
+            f"{labels['pattern']:<8} {counter.value:>7}"
+        )
+
+    # -- 3. zero-overhead proof --------------------------------------------
+    print("\nzero-overhead check:")
+    print(f"  bare run        : {bare.stats}")
+    print(f"  instrumented run: {traced.stats}")
+    assert bare.stats == traced.stats, "telemetry must never charge I/O"
+    print("  identical -- instrumentation adds no block accesses")
+
+    # -- bonus: the same registry, Prometheus-style ------------------------
+    print("\nprometheus exposition (excerpt):")
+    for line in prometheus_text(facade.registry).splitlines()[:6]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -50,6 +50,7 @@ from repro.core import (
     ThresholdPolicy,
     build_reservoir,
 )
+from repro.obs import Instrumentation, maybe_span
 from repro.rng import MT19937, RandomSource
 from repro.storage import (
     AccessStats,
@@ -70,6 +71,9 @@ __all__ = [
     # rng
     "MT19937",
     "RandomSource",
+    # observability
+    "Instrumentation",
+    "maybe_span",
     # storage
     "AccessStats",
     "CostModel",

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.api import Instrumentation, maybe_span
 from repro.rng.random_source import RandomSource
 from repro.storage.cost_model import CostModel
 from repro.storage.memory import MemoryReport
@@ -93,6 +94,7 @@ class GeometricFile:
         initial_dataset_size: int | None = None,
         parameters: GeometricFileParameters = GeometricFileParameters(),
         on_flush=None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         if sample_size <= 0:
             raise ValueError("sample_size must be positive")
@@ -126,6 +128,10 @@ class GeometricFile:
         self._cost.charge("write", sequential=True, count=self._blocks(sample_size))
         self.flushes = 0
         self.memory = MemoryReport()
+        self._instr = instrumentation
+        if instrumentation is not None:
+            self._c_flushes = instrumentation.counter("gf.flushes")
+            self._g_buffered = instrumentation.gauge("gf.buffered_elements")
 
     # -- public state ---------------------------------------------------------
 
@@ -176,6 +182,8 @@ class GeometricFile:
             self.memory.account_elements(
                 len(self._buffer), self._cost.disk.element_size
             )
+            if self._instr is not None:
+                self._g_buffered.set(len(self._buffer))
             if len(self._buffer) >= self._capacity:
                 self.flush()
         return True
@@ -192,16 +200,22 @@ class GeometricFile:
         flushed = len(self._buffer)
         if flushed == 0:
             return
-        # New segment: one seek plus sequential block writes.
-        self._cost.charge("write", sequential=False)
-        self._cost.charge("write", sequential=True, count=self._blocks(flushed))
-        # Tail compaction and header rewrite on every live segment.
-        ios = self.segment_count * self._params.boundary_ios
-        self._cost.charge("read", sequential=False, count=ios)
-        self._cost.charge("write", sequential=False, count=ios)
-        self._disk.extend(self._buffer)
-        self._buffer = []
-        self.flushes += 1
+        with maybe_span(
+            self._instr, "gf.flush", flushed=flushed, segments=self.segment_count
+        ):
+            # New segment: one seek plus sequential block writes.
+            self._cost.charge("write", sequential=False)
+            self._cost.charge("write", sequential=True, count=self._blocks(flushed))
+            # Tail compaction and header rewrite on every live segment.
+            ios = self.segment_count * self._params.boundary_ios
+            self._cost.charge("read", sequential=False, count=ios)
+            self._cost.charge("write", sequential=False, count=ios)
+            self._disk.extend(self._buffer)
+            self._buffer = []
+            self.flushes += 1
+        if self._instr is not None:
+            self._c_flushes.inc()
+            self._g_buffered.set(0)
         if self._on_flush is not None:
             self._on_flush(self)
 

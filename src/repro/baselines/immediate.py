@@ -10,6 +10,7 @@ baselines uniformly.
 from __future__ import annotations
 
 from repro.core.reservoir import ReservoirSampler
+from repro.obs.api import Instrumentation
 from repro.rng.random_source import RandomSource
 from repro.storage.files import SampleFile
 
@@ -27,6 +28,7 @@ class ImmediateMaintainer:
         rng: RandomSource,
         initial_dataset_size: int,
         skip_method: str = "auto",
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         if initial_dataset_size < sample.size:
             raise ValueError(
@@ -39,6 +41,12 @@ class ImmediateMaintainer:
             skip_method=skip_method,
         )
         self.accepted = 0
+        self._instr = instrumentation
+        if instrumentation is not None:
+            labels = {"strategy": self.name}
+            self._c_inserts = instrumentation.counter("maintenance.inserts", labels)
+            self._c_accepted = instrumentation.counter("maintenance.accepted", labels)
+            self._c_rejected = instrumentation.counter("maintenance.rejected", labels)
 
     @property
     def sample(self) -> SampleFile:
@@ -52,9 +60,15 @@ class ImmediateMaintainer:
         """Process one insertion; True if it entered the sample."""
         slot = self._reservoir.offer(element)
         if slot is None:
+            if self._instr is not None:
+                self._c_inserts.inc()
+                self._c_rejected.inc()
             return False
         self._sample.write_random(slot, element)
         self.accepted += 1
+        if self._instr is not None:
+            self._c_inserts.inc()
+            self._c_accepted.inc()
         return True
 
     def insert_many(self, elements) -> None:

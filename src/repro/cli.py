@@ -71,6 +71,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     add_lint_parser(sub)
 
+    from repro.obs.cli import add_stats_parser
+
+    add_stats_parser(sub)
+
     validate = sub.add_parser(
         "validate",
         help="check the vectorised engine against the reference implementation",
@@ -104,6 +108,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.devtools.cli import run_lint_command
 
         return run_lint_command(args)
+
+    if args.command == "stats":
+        from repro.obs.cli import run_stats_command
+
+        return run_stats_command(args)
 
     if args.command == "validate":
         from repro.experiments.validation import validate_engine

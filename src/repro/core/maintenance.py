@@ -25,6 +25,8 @@ from repro.core.refresh.base import RefreshAlgorithm, RefreshResult
 from repro.core.refresh.naive import NaiveFullRefresh
 from repro.core.policies import ManualPolicy, RefreshPolicy
 from repro.core.reservoir import ReservoirSampler
+from repro.obs.api import Instrumentation, maybe_span
+from repro.obs.catalogue import COUNT_BUCKETS, SECONDS_BUCKETS
 from repro.rng.random_source import RandomSource
 from repro.storage.cost_model import AccessStats, CostModel
 from repro.storage.files import LogFile, SampleFile
@@ -71,6 +73,14 @@ class SampleMaintainer:
         When to auto-refresh; defaults to manual.
     initial_dataset_size:
         ``|R|`` at the moment the initial sample was built.
+    instrumentation:
+        Optional :class:`repro.obs.Instrumentation` facade.  When given,
+        the maintainer keeps the ``maintenance.*``/``refresh.*`` metrics
+        and ``sample.pending_log_elements``/``log.*`` gauges current,
+        opens trace spans around every refresh (and, with
+        ``trace_inserts``, every insert), and propagates itself to the
+        refresh algorithm so its phases are traced too.  ``None`` keeps
+        every hot path at a single ``is None`` test.
     """
 
     def __init__(
@@ -84,6 +94,7 @@ class SampleMaintainer:
         policy: RefreshPolicy | None = None,
         cost_model: CostModel | None = None,
         skip_method: str = "auto",
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         if strategy not in _STRATEGIES:
             raise ValueError(f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
@@ -125,6 +136,35 @@ class SampleMaintainer:
             self._candidate_logger = None
             self._full_logger = FullLogger(log, initial_dataset_size)
 
+        self._instr = instrumentation
+        if instrumentation is not None:
+            self._setup_instruments(instrumentation)
+
+    def _setup_instruments(self, instr: Instrumentation) -> None:
+        """Create (or look up) every instrument once; hot paths just inc()."""
+        labels = {"strategy": self._strategy}
+        self._c_inserts = instr.counter("maintenance.inserts", labels)
+        self._c_accepted = instr.counter("maintenance.accepted", labels)
+        self._c_rejected = instr.counter("maintenance.rejected", labels)
+        self._c_refreshes = instr.counter("maintenance.refreshes", labels)
+        self._c_displaced = instr.counter("maintenance.displaced", labels)
+        self._c_log_appended = instr.counter("log.appended_elements")
+        self._g_pending = instr.gauge("sample.pending_log_elements")
+        self._g_log_blocks = instr.gauge("log.blocks")
+        self._h_candidates = instr.histogram(
+            "refresh.candidates", buckets=COUNT_BUCKETS
+        )
+        self._h_displaced = instr.histogram(
+            "refresh.displaced", buckets=COUNT_BUCKETS
+        )
+        self._h_cost = instr.histogram(
+            "refresh.cost_seconds", buckets=SECONDS_BUCKETS
+        )
+        algorithm = self._algorithm
+        if algorithm is not None and getattr(algorithm, "instrumentation", None) is None:
+            algorithm.instrumentation = instr
+        self._sync_gauges()
+
     # -- properties ----------------------------------------------------------
 
     @property
@@ -156,21 +196,51 @@ class SampleMaintainer:
     def insert(self, element) -> None:
         """Process one insertion into the dataset (the online phase)."""
         checkpoint = self._checkpoint()
-        if self._strategy == "immediate":
-            slot = self._reservoir.offer(element)
-            if slot is not None:
-                self._sample.write_random(slot, element)
-                self.stats.candidates_logged += 1
-        elif self._strategy == "candidate":
-            if self._candidate_logger.insert(element):
-                self.stats.candidates_logged += 1
+        obs = self._instr
+        if obs is not None and obs.trace_inserts:
+            with obs.span("insert", strategy=self._strategy) as span:
+                accepted = self._apply_insert(element)
+                span.set("accepted", accepted)
         else:
-            self._full_logger.insert(element)
+            accepted = self._apply_insert(element)
         self._charge_online(checkpoint)
         self.stats.inserts += 1
         self._ops_since_refresh += 1
+        if obs is not None:
+            self._c_inserts.inc()
+            (self._c_accepted if accepted else self._c_rejected).inc()
+            if accepted and self._strategy != "immediate":
+                self._c_log_appended.inc()
+            self._sync_gauges()
         if self._policy.should_refresh(self._ops_since_refresh, self.pending_log_elements):
             self.refresh()
+
+    def _apply_insert(self, element) -> bool:
+        """Acceptance test + write/append; True when the element survived."""
+        obs = self._instr
+        trace = obs if (obs is not None and obs.trace_inserts) else None
+        if self._strategy == "immediate":
+            slot = self._reservoir.offer(element)
+            if slot is None:
+                return False
+            with maybe_span(trace, "insert.sample_write", slot=slot):
+                self._sample.write_random(slot, element)
+            self.stats.candidates_logged += 1
+            return True
+        if self._strategy == "candidate":
+            # The logger runs the acceptance test (pure CPU) and appends on
+            # acceptance, so the span's block delta is the append alone.
+            with maybe_span(trace, "insert.log_append") as span:
+                accepted = self._candidate_logger.insert(element)
+                if span is not None:
+                    span.set("accepted", accepted)
+            if accepted:
+                self.stats.candidates_logged += 1
+            return accepted
+        # Full logging: every insertion is appended, none rejected.
+        with maybe_span(trace, "insert.log_append"):
+            self._full_logger.insert(element)
+        return True
 
     def insert_many(self, elements) -> None:
         for element in elements:
@@ -181,39 +251,67 @@ class SampleMaintainer:
         if self._strategy == "immediate":
             self._ops_since_refresh = 0
             return None
-        # Flushing the log's partial tail block is log-phase work: the
-        # paper books all log writes as online cost (Sec. 6.2), and the
-        # refresh would otherwise absorb the last block's write.
-        online_mark = self._checkpoint()
-        if self._candidate_logger is not None:
-            self._candidate_logger.log.flush()
-        else:
-            self._full_logger.log.flush()
-        self._charge_online(online_mark)
-        checkpoint = self._checkpoint()
-        if self._strategy == "candidate":
-            source = self._candidate_logger.source()
-            result = self._algorithm.refresh(self._sample, source, self._rng)
-            self._candidate_logger.after_refresh()
-        else:
-            if isinstance(self._algorithm, NaiveFullRefresh):
-                # The naive full refresh scans the raw log itself.
-                from repro.core.logs import CandidateLogSource
-
-                algorithm = NaiveFullRefresh(
-                    self._full_logger.dataset_size_at_last_refresh
-                )
-                source = CandidateLogSource(self._full_logger.log)
-                result = algorithm.refresh(self._sample, source, self._rng)
-            else:
-                source = self._full_logger.source(self._sample.size, self._rng)
+        obs = self._instr
+        with maybe_span(
+            obs,
+            "refresh",
+            strategy=self._strategy,
+            algorithm=getattr(self._algorithm, "name", None),
+        ) as outer:
+            # Flushing the log's partial tail block is log-phase work: the
+            # paper books all log writes as online cost (Sec. 6.2), and the
+            # refresh would otherwise absorb the last block's write.
+            online_mark = self._checkpoint()
+            with maybe_span(obs, "refresh.log_flush"):
+                if self._candidate_logger is not None:
+                    self._candidate_logger.log.flush()
+                else:
+                    self._full_logger.log.flush()
+            self._charge_online(online_mark)
+            checkpoint = self._checkpoint()
+            if self._strategy == "candidate":
+                source = self._candidate_logger.source()
                 result = self._algorithm.refresh(self._sample, source, self._rng)
-            self._full_logger.after_refresh()
-        self._charge_offline(checkpoint)
-        self.stats.refreshes += 1
-        self.stats.displaced_total += result.displaced
-        self._ops_since_refresh = 0
-        self._policy.notify_refresh()
+                self._candidate_logger.after_refresh()
+            else:
+                if isinstance(self._algorithm, NaiveFullRefresh):
+                    # The naive full refresh scans the raw log itself.
+                    from repro.core.logs import CandidateLogSource
+
+                    algorithm = NaiveFullRefresh(
+                        self._full_logger.dataset_size_at_last_refresh
+                    )
+                    if obs is not None and algorithm.instrumentation is None:
+                        algorithm.instrumentation = obs
+                    source = CandidateLogSource(self._full_logger.log)
+                    result = algorithm.refresh(self._sample, source, self._rng)
+                else:
+                    source = self._full_logger.source(self._sample.size, self._rng)
+                    result = self._algorithm.refresh(self._sample, source, self._rng)
+                self._full_logger.after_refresh()
+            self._charge_offline(checkpoint)
+            self.stats.refreshes += 1
+            self.stats.displaced_total += result.displaced
+            self._ops_since_refresh = 0
+            self._policy.notify_refresh()
+            if obs is not None:
+                self._c_refreshes.inc()
+                self._c_displaced.inc(result.displaced)
+                self._h_candidates.observe(result.candidates)
+                self._h_displaced.observe(result.displaced)
+                if checkpoint is not None:
+                    offline = self._cost_model.since(checkpoint)
+                    self._h_cost.observe(offline.cost_seconds(self._cost_model.disk))
+                outer.set("candidates", result.candidates)
+                outer.set("displaced", result.displaced)
+                self._sync_gauges()
+                obs.emit(
+                    "refresh.completed",
+                    strategy=self._strategy,
+                    algorithm=getattr(self._algorithm, "name", None),
+                    candidates=result.candidates,
+                    displaced=result.displaced,
+                )
         return result
 
     # -- durability (see repro.storage.superblock) ------------------------------
@@ -271,6 +369,7 @@ class SampleMaintainer:
         policy: RefreshPolicy | None = None,
         cost_model: CostModel | None = None,
         skip_method: str = "auto",
+        instrumentation: Instrumentation | None = None,
     ) -> "SampleMaintainer":
         """Resume maintenance from a checkpoint: bit-exact continuation.
 
@@ -303,6 +402,7 @@ class SampleMaintainer:
             policy=policy,
             cost_model=cost_model,
             skip_method=skip_method,
+            instrumentation=instrumentation,
         )
         # Restore the counters the constructor cannot know.
         if maintainer._reservoir is not None:
@@ -317,7 +417,29 @@ class SampleMaintainer:
         maintainer.stats.inserts = checkpoint.inserts
         maintainer.stats.refreshes = checkpoint.refreshes
         maintainer._ops_since_refresh = checkpoint.ops_since_refresh
+        if instrumentation is not None:
+            # Metrics continuity across the crash: the lifetime counters
+            # resume from the checkpointed totals, and the staleness gauges
+            # reflect the re-attached log.
+            maintainer._c_inserts.restore(checkpoint.inserts)
+            maintainer._c_refreshes.restore(checkpoint.refreshes)
+            maintainer._sync_gauges()
         return maintainer
+
+    # -- telemetry -------------------------------------------------------------
+
+    def _log_file(self) -> LogFile | None:
+        if self._candidate_logger is not None:
+            return self._candidate_logger.log
+        if self._full_logger is not None:
+            return self._full_logger.log
+        return None
+
+    def _sync_gauges(self) -> None:
+        """Refresh the staleness gauges after any state change."""
+        self._g_pending.set(self.pending_log_elements)
+        log = self._log_file()
+        self._g_log_blocks.set(log.block_count if log is not None else 0)
 
     # -- cost accounting -------------------------------------------------------
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.core.logs import CandidateSource
 from repro.core.refresh.base import RefreshResult
+from repro.obs.api import maybe_span
 from repro.rng.random_source import RandomSource
 from repro.storage.files import SampleFile
 from repro.storage.memory import MemoryReport
@@ -38,6 +39,10 @@ class ArrayRefresh:
     that costs.
     """
 
+    #: Optional telemetry (see :mod:`repro.obs`); wired automatically by
+    #: an instrumented :class:`~repro.core.maintenance.SampleMaintainer`.
+    instrumentation = None
+
     def __init__(self, sort: bool = True) -> None:
         self._sort = sort
 
@@ -51,6 +56,7 @@ class ArrayRefresh:
         source: CandidateSource,
         rng: RandomSource,
     ) -> RefreshResult:
+        obs = self.instrumentation
         total = source.count()
         size = sample.size
         memory = MemoryReport()
@@ -58,13 +64,26 @@ class ArrayRefresh:
         if total == 0:
             return RefreshResult(candidates=0, displaced=0, memory=memory)
 
-        # Precomputation: indexes 1..|C| land on uniform slots.
-        array = self.assign_slots(rng, size, total)
+        # Precomputation: indexes 1..|C| land on uniform slots.  This is
+        # the in-memory merge phase -- its span shows zero block I/O.
+        with maybe_span(
+            obs, "refresh.precompute", algorithm=self.name, candidates=total
+        ):
+            array = self.assign_slots(rng, size, total)
+            if self._sort:
+                self._sort_non_empty(array)
 
-        if self._sort:
-            self._sort_non_empty(array)
-            return self._write_sorted(sample, source, array, total, memory)
-        return self._write_unsorted(sample, source, array, total, memory)
+        # Write phase: log scan (sequential reads) interleaved with the
+        # sample rewrite (sequential writes); the span's block delta
+        # separates the two by access category.
+        with maybe_span(obs, "refresh.write", algorithm=self.name) as span:
+            if self._sort:
+                result = self._write_sorted(sample, source, array, total, memory)
+            else:
+                result = self._write_unsorted(sample, source, array, total, memory)
+            if span is not None:
+                span.set("displaced", result.displaced)
+        return result
 
     @staticmethod
     def assign_slots(rng: RandomSource, size: int, total: int) -> list[int | None]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.core.logs import CandidateLogSource, CandidateSource
 from repro.core.refresh.base import RefreshResult
+from repro.obs.api import maybe_span
 from repro.rng.random_source import RandomSource
 from repro.storage.files import SampleFile
 from repro.storage.memory import MemoryReport
@@ -28,6 +29,10 @@ class NaiveCandidateRefresh:
 
     name = "naive-candidate"
 
+    #: Optional telemetry (see :mod:`repro.obs`); wired automatically by
+    #: an instrumented :class:`~repro.core.maintenance.SampleMaintainer`.
+    instrumentation = None
+
     def refresh(
         self,
         sample: SampleFile,
@@ -37,16 +42,25 @@ class NaiveCandidateRefresh:
         total = source.count()
         if total == 0:
             return RefreshResult(candidates=0, displaced=0)
-        reader = source.open_reader()
-        touched: set[int] = set()
-        for ordinal in range(1, total + 1):
-            element = reader.read(ordinal)
-            slot = rng.randrange(sample.size)
-            # The naive strawman *is* random-write I/O -- that inefficiency
-            # is the point of the Sec. 3 baselines, not a violation of the
-            # Alg. 1-3 sequential-only claim.
-            sample.write_random(slot, element)  # repro-lint: disable=IO001
-            touched.add(slot)
+        # No precomputation phase: the strawman goes straight to disk.
+        with maybe_span(
+            self.instrumentation,
+            "refresh.write",
+            algorithm=self.name,
+            candidates=total,
+        ) as span:
+            reader = source.open_reader()
+            touched: set[int] = set()
+            for ordinal in range(1, total + 1):
+                element = reader.read(ordinal)
+                slot = rng.randrange(sample.size)
+                # The naive strawman *is* random-write I/O -- that inefficiency
+                # is the point of the Sec. 3 baselines, not a violation of the
+                # Alg. 1-3 sequential-only claim.
+                sample.write_random(slot, element)  # repro-lint: disable=IO001
+                touched.add(slot)
+            if span is not None:
+                span.set("displaced", len(touched))
         return RefreshResult(
             candidates=total,
             displaced=len(touched),
@@ -67,6 +81,10 @@ class NaiveFullRefresh:
 
     name = "naive-full"
 
+    #: Optional telemetry (see :mod:`repro.obs`); wired automatically by
+    #: an instrumented :class:`~repro.core.maintenance.SampleMaintainer`.
+    instrumentation = None
+
     def __init__(self, dataset_size_before: int) -> None:
         if dataset_size_before < 0:
             raise ValueError("dataset_size_before must be non-negative")
@@ -85,19 +103,24 @@ class NaiveFullRefresh:
             )
         if self._dataset_size_before < sample.size:
             raise ValueError("dataset smaller than sample: nothing to refresh")
-        elements = source.scan_all()
-        seen = self._dataset_size_before
-        accepted = 0
-        touched: set[int] = set()
-        for element in elements:
-            seen += 1
-            if rng.random() * seen < sample.size:
-                slot = rng.randrange(sample.size)
-                # Same as above: the Sec. 3.1 baseline pays random writes
-                # by design; the cost experiments rely on it doing so.
-                sample.write_random(slot, element)  # repro-lint: disable=IO001
-                touched.add(slot)
-                accepted += 1
+        with maybe_span(
+            self.instrumentation, "refresh.write", algorithm=self.name
+        ) as span:
+            elements = source.scan_all()
+            seen = self._dataset_size_before
+            accepted = 0
+            touched: set[int] = set()
+            for element in elements:
+                seen += 1
+                if rng.random() * seen < sample.size:
+                    slot = rng.randrange(sample.size)
+                    # Same as above: the Sec. 3.1 baseline pays random writes
+                    # by design; the cost experiments rely on it doing so.
+                    sample.write_random(slot, element)  # repro-lint: disable=IO001
+                    touched.add(slot)
+                    accepted += 1
+            if span is not None:
+                span.set("displaced", len(touched))
         return RefreshResult(
             candidates=accepted,
             displaced=len(touched),

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.core.logs import CandidateSource
 from repro.core.refresh.base import RefreshResult
+from repro.obs.api import maybe_span
 from repro.rng.random_source import RandomSource
 from repro.rng.sequential import SequentialSampler
 from repro.storage.files import SampleFile
@@ -48,12 +49,17 @@ class NomemRefresh:
 
     name = "nomem"
 
+    #: Optional telemetry (see :mod:`repro.obs`); wired automatically by
+    #: an instrumented :class:`~repro.core.maintenance.SampleMaintainer`.
+    instrumentation = None
+
     def refresh(
         self,
         sample: SampleFile,
         source: CandidateSource,
         rng: RandomSource,
     ) -> RefreshResult:
+        obs = self.instrumentation
         total = source.count()
         memory = MemoryReport()
         memory.account_prng_snapshots(1)
@@ -63,37 +69,44 @@ class NomemRefresh:
         size = sample.size
         geom_rng = rng.spawn("nomem-geometric")
 
-        # Pass 1: total span X of the M-1 inter-survivor gaps.
-        state = geom_rng.snapshot()
-        span = span_of_gaps(geom_rng, size)
+        # Precomputation (pass 1 + pass-2 setup): pure PRNG work, no I/O.
+        with maybe_span(
+            obs, "refresh.precompute", algorithm=self.name, candidates=total
+        ):
+            # Pass 1: total span X of the M-1 inter-survivor gaps.
+            state = geom_rng.snapshot()
+            span = span_of_gaps(geom_rng, size)
 
-        # Pass 2 setup: replay from the saved state.
-        geom_rng.restore(state)
-        index = total - span
-        k = size - 1
-        # Skip survivor indexes that fall before the log's start.
-        while index < 1 and k >= 1:
-            index += geom_rng.geometric((size - k) / size) + 1
-            k -= 1
-        remaining = k + 1  # survivors with index >= 1, including `index`
+            # Pass 2 setup: replay from the saved state.
+            geom_rng.restore(state)
+            index = total - span
+            k = size - 1
+            # Skip survivor indexes that fall before the log's start.
+            while index < 1 and k >= 1:
+                index += geom_rng.geometric((size - k) / size) + 1
+                k -= 1
+            remaining = k + 1  # survivors with index >= 1, including `index`
 
         # Write phase: selection sampling over positions; survivor indexes
         # are consumed in ascending order, so the log is read sequentially.
-        reader = source.open_reader()
-        chooser = SequentialSampler(rng, n=remaining, total=size)
-        displaced = remaining
+        with maybe_span(
+            obs, "refresh.write", algorithm=self.name, displaced=remaining
+        ):
+            reader = source.open_reader()
+            chooser = SequentialSampler(rng, n=remaining, total=size)
+            displaced = remaining
 
-        def displaced_items():
-            nonlocal index, k
-            for position in range(size):
-                if chooser.remaining == 0:
-                    return
-                if chooser.take():
-                    element = reader.read(index)
-                    if k >= 1:
-                        index += geom_rng.geometric((size - k) / size) + 1
-                        k -= 1
-                    yield position, element
+            def displaced_items():
+                nonlocal index, k
+                for position in range(size):
+                    if chooser.remaining == 0:
+                        return
+                    if chooser.take():
+                        element = reader.read(index)
+                        if k >= 1:
+                            index += geom_rng.geometric((size - k) / size) + 1
+                            k -= 1
+                        yield position, element
 
-        sample.write_sequential(displaced_items())
+            sample.write_sequential(displaced_items())
         return RefreshResult(candidates=total, displaced=displaced, memory=memory)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.core.logs import CandidateSource
 from repro.core.refresh.base import RefreshResult
+from repro.obs.api import maybe_span
 from repro.rng.random_source import RandomSource
 from repro.rng.sequential import SequentialSampler
 from repro.storage.files import SampleFile
@@ -59,19 +60,27 @@ class StackRefresh:
 
     name = "stack"
 
+    #: Optional telemetry (see :mod:`repro.obs`); wired automatically by
+    #: an instrumented :class:`~repro.core.maintenance.SampleMaintainer`.
+    instrumentation = None
+
     def refresh(
         self,
         sample: SampleFile,
         source: CandidateSource,
         rng: RandomSource,
     ) -> RefreshResult:
+        obs = self.instrumentation
         total = source.count()
         memory = MemoryReport()
         if total == 0:
             return RefreshResult(candidates=0, displaced=0, memory=memory)
 
         # Precomputation: survivors, pushed in descending index order.
-        stack = select_final_indexes(rng, sample.size, total)
+        with maybe_span(
+            obs, "refresh.precompute", algorithm=self.name, candidates=total
+        ):
+            stack = select_final_indexes(rng, sample.size, total)
         memory.account_indexes(len(stack))
         displaced = len(stack)
         if displaced == 0:
@@ -79,18 +88,21 @@ class StackRefresh:
 
         # Write phase: selection sampling over the M positions; popping the
         # stack yields ascending log indexes, so log reads are sequential.
-        reader = source.open_reader()
-        chooser = SequentialSampler(rng, n=displaced, total=sample.size)
+        with maybe_span(
+            obs, "refresh.write", algorithm=self.name, displaced=displaced
+        ):
+            reader = source.open_reader()
+            chooser = SequentialSampler(rng, n=displaced, total=sample.size)
 
-        def displaced_items():
-            for position in range(sample.size):
-                if chooser.remaining == 0:
-                    return
-                if chooser.take():
-                    index = stack.pop()
-                    yield position, reader.read(index)
+            def displaced_items():
+                for position in range(sample.size):
+                    if chooser.remaining == 0:
+                        return
+                    if chooser.take():
+                        index = stack.pop()
+                        yield position, reader.read(index)
 
-        sample.write_sequential(displaced_items())
+            sample.write_sequential(displaced_items())
         if stack:
             raise AssertionError(
                 f"write phase finished with {len(stack)} candidates unwritten"

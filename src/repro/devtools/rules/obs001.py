@@ -1,0 +1,109 @@
+"""OBS001: instrument names come from the catalogue, not ad-hoc strings.
+
+Every ``counter("...")`` / ``gauge("...")`` / ``histogram("...")`` emit
+site with a literal name must (a) use a lowercase dotted identifier and
+(b) name an instrument declared in ``repro/obs/catalogue.py``'s literal
+``INSTRUMENTS`` dict.  The registry enforces membership at runtime too,
+but only on code paths a test happens to execute; the lint makes the
+telemetry surface statically complete, so a renamed or invented metric
+cannot ship silently.  Names built at runtime (non-literal first
+arguments) are out of static reach and left to the runtime check.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ProjectRule, register
+from repro.devtools.runner import ModuleContext, ProjectContext
+
+__all__ = ["InstrumentNameRule"]
+
+#: Mirrors ``repro.obs.instruments.INSTRUMENT_NAME_RE`` (kept literal here
+#: so the linter does not import the package it lints).
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+CATALOGUE_REL_PATH = "obs/catalogue.py"
+EMIT_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+
+def catalogue_names(ctx: ProjectContext) -> set[str] | None:
+    """Literal keys of ``INSTRUMENTS`` in the linted tree's catalogue.
+
+    Returns None when the tree has no catalogue module (scratch trees in
+    the rule tests) -- then only the name-shape check applies.
+    """
+    module = ctx.module(CATALOGUE_REL_PATH)
+    if module is None:
+        return None
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "INSTRUMENTS" not in targets or not isinstance(node.value, ast.Dict):
+            continue
+        return {
+            key.value
+            for key in node.value.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        }
+    return None
+
+
+@register
+class InstrumentNameRule(ProjectRule):
+    id = "OBS001"
+    title = "instrument names must be registered in the obs catalogue"
+    rationale = (
+        "the telemetry surface is reviewable only if every metric name is "
+        "declared once, centrally; ad-hoc literals at emit sites drift"
+    )
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        declared = catalogue_names(ctx)
+        for module in ctx.modules:
+            if module.rel_path == CATALOGUE_REL_PATH:
+                continue
+            yield from self._check_module(module, declared)
+
+    def _check_module(
+        self, ctx: ModuleContext, declared: set[str] | None
+    ) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in EMIT_METHODS:
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            if not isinstance(first, ast.Constant) or not isinstance(first.value, str):
+                continue
+            name = first.value
+            if not NAME_RE.match(name):
+                yield Finding(
+                    path=ctx.rel_path,
+                    line=first.lineno,
+                    col=first.col_offset,
+                    rule_id=self.id,
+                    message=(
+                        f"instrument name {name!r} is not a lowercase dotted "
+                        "identifier (e.g. 'maintenance.inserts')"
+                    ),
+                )
+            elif declared is not None and name not in declared:
+                yield Finding(
+                    path=ctx.rel_path,
+                    line=first.lineno,
+                    col=first.col_offset,
+                    rule_id=self.id,
+                    message=(
+                        f"instrument name {name!r} is not declared in "
+                        "obs/catalogue.py INSTRUMENTS; register it there "
+                        "instead of inventing names at the emit site"
+                    ),
+                )

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.api import Instrumentation
 from repro.rng.numpy_source import numpy_generator
 from repro.storage.cost_model import AccessStats, DiskParameters, PAPER_DISK
 
@@ -344,13 +345,59 @@ def simulate_strategy(
     seed: int = 0,
     disk: DiskParameters = PAPER_DISK,
     cached_fraction: float = 0.0,
+    instrumentation: Instrumentation | None = None,
 ) -> MaintenanceCost:
     """Simulate one maintenance strategy end to end.
 
     ``strategy`` is ``"immediate"``, ``"candidate"`` or ``"full"``;
     ``refresh_period`` of ``None`` means log-only (the Fig. 6/8 setting,
-    no intermediate refresh).
+    no intermediate refresh).  With ``instrumentation``, the run's
+    realised candidate/refresh counts and cost split are recorded under
+    the ``engine.*`` instruments (labelled by strategy) so experiment
+    reports can attach a metrics snapshot per run.
     """
+    cost = _simulate(
+        strategy,
+        sample_size,
+        initial_dataset,
+        inserts,
+        refresh_period,
+        seed,
+        disk,
+        cached_fraction,
+    )
+    if instrumentation is not None:
+        labels = {"strategy": strategy}
+        instrumentation.counter("engine.candidates", labels).inc(cost.candidates)
+        instrumentation.counter("engine.refreshes", labels).inc(cost.refreshes)
+        instrumentation.gauge("engine.online_seconds", labels).set(
+            cost.online_seconds(disk)
+        )
+        instrumentation.gauge("engine.offline_seconds", labels).set(
+            cost.offline_seconds(disk)
+        )
+        instrumentation.emit(
+            "engine.simulated",
+            strategy=strategy,
+            inserts=inserts,
+            candidates=cost.candidates,
+            refreshes=cost.refreshes,
+            online_seconds=cost.online_seconds(disk),
+            offline_seconds=cost.offline_seconds(disk),
+        )
+    return cost
+
+
+def _simulate(
+    strategy: str,
+    sample_size: int,
+    initial_dataset: int,
+    inserts: int,
+    refresh_period: int | None,
+    seed: int,
+    disk: DiskParameters,
+    cached_fraction: float,
+) -> MaintenanceCost:
     if strategy not in ("immediate", "candidate", "full"):
         raise ValueError(f"unknown strategy: {strategy!r}")
     rng = numpy_generator(seed)

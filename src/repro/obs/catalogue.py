@@ -1,0 +1,108 @@
+"""The instrument catalogue: every metric the library may emit.
+
+One central, literal declaration per instrument keeps the telemetry
+surface reviewable (docs/observability.md renders this table) and makes
+it machine-checkable: the OBS001 lint rule parses this module's
+``INSTRUMENTS`` dict and rejects any ``counter("...")`` / ``gauge("...")``
+/ ``histogram("...")`` emit site whose literal name is not declared here.
+The registry enforces the same membership at runtime.
+
+Units follow the paper's currency: ``blocks`` are block-level accesses,
+``seconds`` are cost-model seconds (counted accesses weighted with the
+Sec. 6.1 access times), never wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["InstrumentSpec", "INSTRUMENTS", "COUNT_BUCKETS", "SECONDS_BUCKETS"]
+
+
+class InstrumentSpec(NamedTuple):
+    kind: str  # "counter" | "gauge" | "histogram"
+    description: str
+    unit: str = ""
+
+
+#: Bucket boundaries for count-valued histograms (|C|, Psi, blocks).
+COUNT_BUCKETS: tuple[float, ...] = (
+    1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+)
+
+#: Bucket boundaries for cost-model-second histograms.
+SECONDS_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0,
+)
+
+
+INSTRUMENTS: dict[str, InstrumentSpec] = {
+    # -- maintenance lifecycle (SampleMaintainer, baselines) ----------------
+    "maintenance.inserts": InstrumentSpec(
+        "counter", "insertions processed by the maintenance front door"
+    ),
+    "maintenance.accepted": InstrumentSpec(
+        "counter", "acceptance tests that admitted the element as a candidate"
+    ),
+    "maintenance.rejected": InstrumentSpec(
+        "counter", "acceptance tests that discarded the element"
+    ),
+    "maintenance.refreshes": InstrumentSpec(
+        "counter", "deferred refresh cycles completed"
+    ),
+    "maintenance.displaced": InstrumentSpec(
+        "counter", "sample elements overwritten by final candidates (sum of Psi)"
+    ),
+    # -- staleness / candidate-log growth -----------------------------------
+    "sample.pending_log_elements": InstrumentSpec(
+        "gauge", "logged elements not yet folded into the sample (staleness)",
+        "elements",
+    ),
+    "log.appended_elements": InstrumentSpec(
+        "counter", "elements appended to the log across all generations",
+        "elements",
+    ),
+    "log.blocks": InstrumentSpec(
+        "gauge", "blocks the current log generation occupies", "blocks"
+    ),
+    # -- refresh outcomes ----------------------------------------------------
+    "refresh.candidates": InstrumentSpec(
+        "histogram", "candidate count |C| per refresh", "elements"
+    ),
+    "refresh.displaced": InstrumentSpec(
+        "histogram", "displaced count Psi per refresh", "elements"
+    ),
+    "refresh.cost_seconds": InstrumentSpec(
+        "histogram", "cost-model seconds per refresh cycle", "seconds"
+    ),
+    # -- per-device access telemetry ----------------------------------------
+    "device.accesses": InstrumentSpec(
+        "counter",
+        "block accesses, labelled device= kind=read|write pattern=seq|random",
+        "blocks",
+    ),
+    "device.crashes": InstrumentSpec(
+        "counter", "injected crashes fired, labelled device=", "crashes"
+    ),
+    # -- geometric-file baseline --------------------------------------------
+    "gf.flushes": InstrumentSpec(
+        "counter", "geometric-file buffer flushes (segment creations)"
+    ),
+    "gf.buffered_elements": InstrumentSpec(
+        "gauge", "candidates held in the geometric file's in-memory buffer",
+        "elements",
+    ),
+    # -- vectorised experiment engine ---------------------------------------
+    "engine.candidates": InstrumentSpec(
+        "counter", "candidates realised by the vectorised engine", "elements"
+    ),
+    "engine.refreshes": InstrumentSpec(
+        "counter", "refresh periods simulated by the vectorised engine"
+    ),
+    "engine.online_seconds": InstrumentSpec(
+        "gauge", "simulated online cost of the last engine run", "seconds"
+    ),
+    "engine.offline_seconds": InstrumentSpec(
+        "gauge", "simulated offline cost of the last engine run", "seconds"
+    ),
+}

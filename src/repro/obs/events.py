@@ -1,0 +1,77 @@
+"""Structured event bus with a no-op fast path.
+
+Events are discrete occurrences -- a refresh completing, an injected
+crash firing -- as opposed to the continuous accumulators in
+:mod:`repro.obs.instruments`.  The bus is deliberately minimal:
+``emit()`` returns immediately when nobody subscribed, so instrumented
+code paths cost one attribute read plus one truth test when telemetry
+is off, and event construction happens only when a sink will see it.
+
+Event "time" is the emitting context's cost-clock reading (cost-model
+seconds), never a wall clock -- see :mod:`repro.obs.trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.obs.instruments import validate_instrument_name
+
+__all__ = ["Event", "EventBus"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured occurrence."""
+
+    name: str
+    seq: int
+    cost_seconds: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "event": self.name,
+            "seq": self.seq,
+            "cost_seconds": self.cost_seconds,
+            **self.attrs,
+        }
+
+
+class EventBus:
+    """Fan-out of events to zero or more subscriber callables."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[Callable[[Event], None]] = []
+        self._seq = 0
+
+    @property
+    def active(self) -> bool:
+        """True when at least one subscriber is attached."""
+        return bool(self._subscribers)
+
+    def subscribe(self, sink: Callable[[Event], None]) -> Callable[[], None]:
+        """Attach *sink*; returns a zero-argument unsubscribe callable."""
+        self._subscribers.append(sink)
+
+        def unsubscribe() -> None:
+            if sink in self._subscribers:
+                self._subscribers.remove(sink)
+
+        return unsubscribe
+
+    def emit(
+        self, name: str, cost_seconds: float = 0.0, **attrs: Any
+    ) -> Event | None:
+        """Deliver an event to every subscriber; no-op when none exist."""
+        if not self._subscribers:
+            return None
+        validate_instrument_name(name)
+        self._seq += 1
+        event = Event(
+            name=name, seq=self._seq, cost_seconds=cost_seconds, attrs=attrs
+        )
+        for sink in list(self._subscribers):
+            sink(event)
+        return event

@@ -1,0 +1,139 @@
+"""The metrics registry: named instruments, created once, shared by key.
+
+``counter(name)`` / ``gauge(name)`` / ``histogram(name)`` are
+create-or-get: the first call for a ``(name, labels)`` pair creates the
+instrument, later calls return the same object, so hot paths can cache
+the instrument and pay one attribute increment per event.
+
+By default the registry is *strict*: names must appear in the
+:mod:`repro.obs.catalogue` (the same invariant OBS001 enforces
+statically at emit sites).  ``MetricsRegistry(strict=False)`` lifts the
+membership check -- shape validation always applies -- for scratch
+registries in tests and exploratory tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.obs.catalogue import INSTRUMENTS
+from repro.obs.instruments import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    Instrument,
+    canonical_labels,
+    validate_instrument_name,
+)
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Holds every live instrument, keyed by ``(name, labels)``."""
+
+    def __init__(self, strict: bool = True) -> None:
+        self._strict = strict
+        self._instruments: dict[tuple, Instrument] = {}
+
+    # -- factories ---------------------------------------------------------
+
+    def counter(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> Counter:
+        return self._get_or_create(Counter, "counter", name, labels)
+
+    def gauge(self, name: str, labels: Mapping[str, str] | None = None) -> Gauge:
+        return self._get_or_create(Gauge, "gauge", name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Mapping[str, str] | None = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        key = (validate_instrument_name(name), canonical_labels(labels))
+        existing = self._instruments.get(key)
+        if existing is not None:
+            self._check_kind(existing, "histogram")
+            return existing  # type: ignore[return-value]
+        self._check_catalogue(name, "histogram")
+        instrument = Histogram(name, labels, buckets=buckets)
+        self._instruments[key] = instrument
+        return instrument
+
+    # -- introspection -----------------------------------------------------
+
+    def get(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> Instrument | None:
+        """The live instrument for ``(name, labels)``, or None."""
+        return self._instruments.get((name, canonical_labels(labels)))
+
+    def __iter__(self) -> Iterator[Instrument]:
+        return iter(sorted(self._instruments.values(), key=lambda i: i.key))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of every instrument's current state."""
+        out: list[dict] = []
+        for instrument in self:
+            entry: dict = {
+                "name": instrument.name,
+                "kind": instrument.kind,
+                "labels": dict(instrument.labels),
+            }
+            if isinstance(instrument, Histogram):
+                entry["count"] = instrument.count
+                entry["sum"] = instrument.sum
+                entry["buckets"] = {
+                    str(bound): count
+                    for bound, count in zip(
+                        instrument.boundaries, instrument.bucket_counts
+                    )
+                }
+            else:
+                entry["value"] = instrument.value
+            out.append(entry)
+        return {"instruments": out}
+
+    # -- internals ---------------------------------------------------------
+
+    def _get_or_create(
+        self, cls, kind: str, name: str, labels: Mapping[str, str] | None
+    ):
+        key = (validate_instrument_name(name), canonical_labels(labels))
+        existing = self._instruments.get(key)
+        if existing is not None:
+            self._check_kind(existing, kind)
+            return existing
+        self._check_catalogue(name, kind)
+        instrument = cls(name, labels)
+        self._instruments[key] = instrument
+        return instrument
+
+    def _check_catalogue(self, name: str, kind: str) -> None:
+        if not self._strict:
+            return
+        spec = INSTRUMENTS.get(name)
+        if spec is None:
+            raise KeyError(
+                f"instrument {name!r} is not declared in repro.obs.catalogue "
+                "(add it there, or use MetricsRegistry(strict=False))"
+            )
+        if spec.kind != kind:
+            raise TypeError(
+                f"instrument {name!r} is catalogued as a {spec.kind}, "
+                f"requested as a {kind}"
+            )
+
+    @staticmethod
+    def _check_kind(existing: Instrument, kind: str) -> None:
+        if existing.kind != kind:
+            raise TypeError(
+                f"instrument {existing.name!r} already exists as a "
+                f"{existing.kind}, requested as a {kind}"
+            )

@@ -1,0 +1,163 @@
+"""Trace spans measured in cost-model seconds and block counts.
+
+A span brackets one lifecycle step -- an insert, a refresh, a refresh
+*phase* (precomputation vs. write pass) -- and records what that step
+cost.  Crucially, "duration" here is **not wall-clock time**: it is the
+delta of the shared :class:`~repro.storage.cost_model.CostModel` across
+the span, i.e. counted block accesses weighted with the paper's Sec. 6.1
+access times, plus the categorised block counts themselves.  That keeps
+the TIME001 invariant (no wall clocks in cost-accounted paths) true *by
+construction*: tracing an algorithm cannot smuggle hardware timing into
+its reported numbers.
+
+The one legitimate exception is running the reference algorithms against
+a real file system, where elapsed time is the measurement.  For that,
+span timing is pluggable via the :class:`Clock` protocol; the sanctioned
+wall clock lives in :mod:`repro.storage.real_disk` (the calibration
+module that is TIME001-exempt by design), not here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Protocol
+
+from repro.storage.cost_model import AccessStats, CostModel
+
+__all__ = ["Clock", "CostClock", "NullClock", "Span", "Tracer"]
+
+
+class Clock(Protocol):
+    """Injectable time source for span durations."""
+
+    def now(self) -> float:  # pragma: no cover - protocol
+        ...
+
+
+class CostClock:
+    """The default clock: reads the cost model's accumulated seconds."""
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self._cost_model = cost_model
+
+    def now(self) -> float:
+        return self._cost_model.cost_seconds()
+
+
+class NullClock:
+    """Clock for tracers without a cost model: every reading is zero."""
+
+    def now(self) -> float:
+        return 0.0
+
+
+@dataclass
+class Span:
+    """One completed (or in-flight) traced step."""
+
+    name: str
+    parent: str | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    start_seconds: float = 0.0
+    end_seconds: float | None = None
+    io: AccessStats | None = None
+
+    @property
+    def duration_seconds(self) -> float:
+        """Cost-model seconds spent inside the span (0 while in flight)."""
+        if self.end_seconds is None:
+            return 0.0
+        return self.end_seconds - self.start_seconds
+
+    @property
+    def blocks(self) -> int:
+        """Total block accesses charged inside the span."""
+        return self.io.total_accesses if self.io is not None else 0
+
+    def set(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict:
+        out: dict[str, Any] = {
+            "span": self.name,
+            "parent": self.parent,
+            "cost_seconds": round(self.duration_seconds, 9),
+            **self.attrs,
+        }
+        if self.io is not None:
+            out["blocks"] = {
+                "seq_reads": self.io.seq_reads,
+                "seq_writes": self.io.seq_writes,
+                "random_reads": self.io.random_reads,
+                "random_writes": self.io.random_writes,
+            }
+        return out
+
+
+class Tracer:
+    """Produces and retains spans; nests them via an explicit stack.
+
+    ``max_spans`` bounds retention (oldest finished spans are dropped
+    first) so long instrumented runs cannot grow memory without bound.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel | None = None,
+        clock: Clock | None = None,
+        max_spans: int = 10_000,
+        event_bus=None,
+    ) -> None:
+        self._cost_model = cost_model
+        if clock is None:
+            clock = CostClock(cost_model) if cost_model is not None else NullClock()
+        self._clock = clock
+        self._stack: list[Span] = []
+        self._finished: deque[Span] = deque(maxlen=max_spans)
+        self._events = event_bus
+
+    @property
+    def finished(self) -> list[Span]:
+        """Completed spans, oldest first."""
+        return list(self._finished)
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def clear(self) -> None:
+        self._finished.clear()
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a span; closes (and records) it when the block exits.
+
+        The span is recorded even when the block raises, so a crash mid
+        refresh still leaves the partially accrued cost visible -- the
+        failure-analysis case the fault-injection tests exercise.
+        """
+        parent = self._stack[-1].name if self._stack else None
+        span = Span(name=name, parent=parent, attrs=dict(attrs))
+        span.start_seconds = self._clock.now()
+        checkpoint = (
+            self._cost_model.checkpoint() if self._cost_model is not None else None
+        )
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.end_seconds = self._clock.now()
+            if checkpoint is not None:
+                span.io = self._cost_model.since(checkpoint)
+            self._finished.append(span)
+            if self._events is not None:
+                self._events.emit(
+                    "trace.span_end",
+                    cost_seconds=span.duration_seconds,
+                    span=span.name,
+                    parent=span.parent,
+                    blocks=span.blocks,
+                )

@@ -28,7 +28,7 @@ from repro.storage.block_device import SimulatedBlockDevice
 from repro.storage.fault_injection import FaultInjectionDevice, InjectedCrash
 from repro.storage.files import LogFile, SampleFile, SequentialLogReader
 from repro.storage.memory import MemoryReport
-from repro.storage.real_disk import RealBlockDevice, calibrate_disk
+from repro.storage.real_disk import RealBlockDevice, WallClock, calibrate_disk
 from repro.storage.records import BytesRecordCodec, IntRecordCodec, RecordCodec
 from repro.storage.superblock import (
     CheckpointError,
@@ -43,6 +43,7 @@ __all__ = [
     "PAPER_DISK",
     "SimulatedBlockDevice",
     "RealBlockDevice",
+    "WallClock",
     "calibrate_disk",
     "LogFile",
     "SampleFile",

@@ -15,9 +15,12 @@ per algorithm phase (Sec. 6.1).
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 from repro.storage.cost_model import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs uses storage)
+    from repro.obs.api import Instrumentation
 
 __all__ = ["BlockDevice", "SimulatedBlockDevice"]
 
@@ -43,10 +46,16 @@ class SimulatedBlockDevice:
     grow by simply writing past the end, as on a sparse file.
     """
 
-    def __init__(self, cost_model: CostModel, name: str = "") -> None:
+    def __init__(
+        self,
+        cost_model: CostModel,
+        name: str = "",
+        instrumentation: "Instrumentation | None" = None,
+    ) -> None:
         self._cost_model = cost_model
         self._blocks: dict[int, bytes] = {}
         self._name = name
+        self._instr = instrumentation
 
     @property
     def block_size(self) -> int:
@@ -61,6 +70,14 @@ class SimulatedBlockDevice:
         return self._name
 
     @property
+    def instrumentation(self) -> "Instrumentation | None":
+        return self._instr
+
+    @instrumentation.setter
+    def instrumentation(self, value: "Instrumentation | None") -> None:
+        self._instr = value
+
+    @property
     def allocated_blocks(self) -> int:
         """How many blocks have ever been written."""
         return len(self._blocks)
@@ -69,6 +86,8 @@ class SimulatedBlockDevice:
         """Return the contents of a block, charging one read access."""
         self._check_index(index)
         self._cost_model.charge("read", sequential)
+        if self._instr is not None:
+            self._instr.record_device_access(self._name, "read", sequential)
         return self._blocks.get(index, b"\x00" * self.block_size)
 
     def write_block(self, index: int, data: bytes, sequential: bool) -> None:
@@ -79,6 +98,8 @@ class SimulatedBlockDevice:
                 f"block write must be exactly {self.block_size} bytes, got {len(data)}"
             )
         self._cost_model.charge("write", sequential)
+        if self._instr is not None:
+            self._instr.record_device_access(self._name, "write", sequential)
         self._blocks[index] = bytes(data)
 
     def peek_block(self, index: int) -> bytes:

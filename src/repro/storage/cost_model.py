@@ -111,14 +111,43 @@ class AccessStats:
         result.add(other)
         return result
 
-    def __sub__(self, other: "AccessStats") -> "AccessStats":
-        """Difference, e.g. ``after - before`` around one operation."""
-        return AccessStats(
+    def difference(self, other: "AccessStats", clamp: bool = False) -> "AccessStats":
+        """Difference, e.g. ``after - before`` around one operation.
+
+        Access counters are monotone, so a negative component means the
+        operands were swapped or the checkpoint belongs to a different
+        (e.g. reset) stats object -- silent negative counts once masked
+        exactly that bug.  By default such a difference raises; pass
+        ``clamp=True`` to explicitly floor each component at zero instead
+        (for consumers comparing unrelated runs).
+        """
+        result = AccessStats(
             seq_reads=self.seq_reads - other.seq_reads,
             seq_writes=self.seq_writes - other.seq_writes,
             random_reads=self.random_reads - other.random_reads,
             random_writes=self.random_writes - other.random_writes,
         )
+        negative = [
+            name
+            for name in ("seq_reads", "seq_writes", "random_reads", "random_writes")
+            if getattr(result, name) < 0
+        ]
+        if not negative:
+            return result
+        if clamp:
+            for name in negative:
+                setattr(result, name, 0)
+            return result
+        raise ValueError(
+            "AccessStats difference went negative in "
+            f"{', '.join(negative)} ({self!r} - {other!r}); counters are "
+            "monotone -- operands are swapped or from different stats "
+            "objects (pass clamp=True to floor at zero)"
+        )
+
+    def __sub__(self, other: "AccessStats") -> "AccessStats":
+        """Strict difference: raises if any component would go negative."""
+        return self.difference(other)
 
     def copy(self) -> "AccessStats":
         return AccessStats(

@@ -16,6 +16,11 @@ recover the pre-refresh checkpoint and simply run the refresh again.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs uses storage)
+    from repro.obs.api import Instrumentation
+
 __all__ = ["InjectedCrash", "FaultInjectionDevice"]
 
 
@@ -31,11 +36,18 @@ class FaultInjectionDevice:
     crash can land in the middle of any multi-block write sequence.
     """
 
-    def __init__(self, inner, writes_until_crash: int | None = None) -> None:
+    def __init__(
+        self,
+        inner,
+        writes_until_crash: int | None = None,
+        instrumentation: "Instrumentation | None" = None,
+    ) -> None:
         if writes_until_crash is not None and writes_until_crash < 0:
             raise ValueError("writes_until_crash must be non-negative")
         self._inner = inner
         self._budget = writes_until_crash
+        self._instr = instrumentation
+        self._crash_reported = False
         self.writes_survived = 0
 
     @property
@@ -56,9 +68,11 @@ class FaultInjectionDevice:
         if writes_until_crash < 0:
             raise ValueError("writes_until_crash must be non-negative")
         self._budget = writes_until_crash
+        self._crash_reported = False
 
     def disarm(self) -> None:
         self._budget = None
+        self._crash_reported = False
 
     def read_block(self, index: int, sequential: bool) -> bytes:
         return self._inner.read_block(index, sequential)
@@ -66,12 +80,33 @@ class FaultInjectionDevice:
     def write_block(self, index: int, data: bytes, sequential: bool) -> None:
         if self._budget is not None:
             if self._budget == 0:
+                self._report_crash(index)
                 raise InjectedCrash(
                     f"simulated crash after {self.writes_survived} writes"
                 )
             self._budget -= 1
         self._inner.write_block(index, data, sequential)
         self.writes_survived += 1
+
+    def _report_crash(self, block_index: int) -> None:
+        """Telemetry for the crash: one event + counter per armed trigger.
+
+        A dead process keeps failing every subsequent write with the same
+        armed budget; reporting only the first failure keeps the event
+        stream one-crash-one-event, which is what recovery dashboards and
+        the fault-injection tests key on.  Re-arming resets the latch.
+        """
+        if self._instr is None or self._crash_reported:
+            return
+        self._crash_reported = True
+        device = getattr(self._inner, "name", "") or "faulty"
+        self._instr.counter("device.crashes", labels={"device": device}).inc()
+        self._instr.emit(
+            "device.crash_injected",
+            device=device,
+            block_index=block_index,
+            writes_survived=self.writes_survived,
+        )
 
     def peek_block(self, index: int) -> bytes:
         return self._inner.peek_block(index)

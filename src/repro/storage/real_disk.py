@@ -28,7 +28,22 @@ from dataclasses import dataclass
 
 from repro.storage.cost_model import CostModel, DiskParameters
 
-__all__ = ["RealBlockDevice", "CalibrationResult", "calibrate_disk"]
+__all__ = ["RealBlockDevice", "CalibrationResult", "calibrate_disk", "WallClock"]
+
+
+class WallClock:
+    """The sanctioned wall clock for span timing on the real-disk path.
+
+    Implements the :class:`repro.obs.trace.Clock` protocol.  Simulated
+    runs price spans with the cost model (:class:`repro.obs.trace.CostClock`);
+    when the reference algorithms run against a :class:`RealBlockDevice`,
+    elapsed time *is* the measurement, so this clock -- living in the one
+    module exempt from TIME001 -- may be injected into a
+    :class:`repro.obs.Tracer` instead.
+    """
+
+    def now(self) -> float:
+        return time.perf_counter()
 
 
 class RealBlockDevice:
@@ -40,9 +55,15 @@ class RealBlockDevice:
     bytes actually hit the file system.
     """
 
-    def __init__(self, path: str | os.PathLike, cost_model: CostModel) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        cost_model: CostModel,
+        instrumentation=None,
+    ) -> None:
         self._path = os.fspath(path)
         self._cost_model = cost_model
+        self._instr = instrumentation
         flags = os.O_RDWR | os.O_CREAT
         self._fd = os.open(self._path, flags, 0o644)
 
@@ -61,6 +82,8 @@ class RealBlockDevice:
     def read_block(self, index: int, sequential: bool) -> bytes:
         self._check_index(index)
         self._cost_model.charge("read", sequential)
+        if self._instr is not None:
+            self._instr.record_device_access(self._path, "read", sequential)
         data = os.pread(self._fd, self.block_size, index * self.block_size)
         return data.ljust(self.block_size, b"\x00")
 
@@ -71,6 +94,8 @@ class RealBlockDevice:
                 f"block write must be exactly {self.block_size} bytes, got {len(data)}"
             )
         self._cost_model.charge("write", sequential)
+        if self._instr is not None:
+            self._instr.record_device_access(self._path, "write", sequential)
         os.pwrite(self._fd, data, index * self.block_size)
 
     def peek_block(self, index: int) -> bytes:

@@ -16,5 +16,5 @@ def test_src_tree_lints_clean():
 
 
 def test_full_rule_suite_is_registered():
-    expected = {"RNG001", "IO001", "TIME001", "FLT001", "ARG001", "API001"}
+    expected = {"RNG001", "IO001", "TIME001", "FLT001", "ARG001", "API001", "OBS001"}
     assert expected <= set(all_rules())

@@ -255,6 +255,73 @@ def test_api001_clean_when_alls_agree(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# OBS001
+# ---------------------------------------------------------------------------
+
+CATALOGUE = """\
+    INSTRUMENTS = {
+        "maintenance.inserts": ("counter", "inserts"),
+        "refresh.cost_seconds": ("histogram", "seconds"),
+    }
+"""
+
+
+def test_obs001_flags_undeclared_and_malformed_names(tmp_path):
+    make_tree(tmp_path, {
+        "obs/catalogue.py": CATALOGUE,
+        "core/maint.py": """\
+            def wire(instr):
+                instr.counter("maintenance.inserts").inc()
+                instr.counter("maintenance.oops").inc()
+                instr.gauge("BadName").set(1)
+        """,
+    })
+    findings = lint(tmp_path, rules=["OBS001"])
+    assert [(f.rule_id, f.line) for f in findings] == [
+        ("OBS001", 3), ("OBS001", 4),
+    ]
+    assert "not declared" in findings[0].message
+    assert "lowercase dotted" in findings[1].message
+
+
+def test_obs001_clean_for_declared_names_and_runtime_built_names(tmp_path):
+    make_tree(tmp_path, {
+        "obs/catalogue.py": CATALOGUE,
+        "core/maint.py": """\
+            def wire(instr, dynamic):
+                instr.counter("maintenance.inserts").inc()
+                instr.histogram("refresh.cost_seconds").observe(0.1)
+                instr.counter(dynamic).inc()  # runtime name: registry's job
+        """,
+    })
+    assert lint(tmp_path, rules=["OBS001"]) == []
+
+
+def test_obs001_without_catalogue_checks_only_name_shape(tmp_path):
+    make_tree(tmp_path, {
+        "core/maint.py": """\
+            def wire(instr):
+                instr.counter("anything.goes").inc()
+                instr.gauge("but not this").set(1)
+        """,
+    })
+    findings = lint(tmp_path, rules=["OBS001"])
+    assert [(f.rule_id, f.line) for f in findings] == [("OBS001", 3)]
+
+
+def test_obs001_ignores_the_catalogue_module_itself(tmp_path):
+    make_tree(tmp_path, {
+        # A hypothetical helper inside the catalogue module would not be
+        # an emit site; the rule skips the catalogue file entirely.
+        "obs/catalogue.py": CATALOGUE + """\
+    def helper(instr):
+        instr.counter("not.in.catalogue")
+""",
+    })
+    assert lint(tmp_path, rules=["OBS001"]) == []
+
+
+# ---------------------------------------------------------------------------
 # Suppression comments
 # ---------------------------------------------------------------------------
 

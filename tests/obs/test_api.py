@@ -1,0 +1,73 @@
+"""Unit tests for the Instrumentation facade and the maybe_span guard."""
+
+from contextlib import nullcontext
+
+from repro.obs import Instrumentation, maybe_span
+from repro.storage.cost_model import CostModel
+
+
+def test_maybe_span_is_free_when_uninstrumented():
+    ctx = maybe_span(None, "refresh.write", algorithm="array")
+    assert isinstance(ctx, nullcontext)
+    with ctx as span:
+        assert span is None
+
+
+def test_maybe_span_opens_a_real_span_when_instrumented():
+    instr = Instrumentation()
+    with maybe_span(instr, "refresh.write", algorithm="array") as span:
+        span.set("displaced", 5)
+    (finished,) = instr.tracer.finished
+    assert finished.name == "refresh.write"
+    assert finished.attrs == {"algorithm": "array", "displaced": 5}
+
+
+def test_facade_instruments_share_the_registry():
+    instr = Instrumentation()
+    counter = instr.counter("maintenance.inserts", {"strategy": "candidate"})
+    counter.inc(2)
+    assert instr.registry.get(
+        "maintenance.inserts", {"strategy": "candidate"}
+    ).value == 2
+    assert "instruments" in instr.snapshot()
+
+
+def test_emit_is_free_without_subscribers_and_stamps_cost_time():
+    cost = CostModel()
+    instr = Instrumentation(cost_model=cost)
+    instr.emit("refresh.completed")  # no subscribers: no event constructed
+    seen = []
+    instr.events.subscribe(seen.append)
+    cost.charge("read", sequential=True, count=100)
+    instr.emit("refresh.completed", displaced=3)
+    (event,) = seen
+    assert event.cost_seconds == cost.cost_seconds()
+    assert event.attrs == {"displaced": 3}
+
+
+def test_record_device_access_builds_the_labelled_counters():
+    instr = Instrumentation()
+    instr.record_device_access("sample-disk", "read", sequential=True, count=4)
+    instr.record_device_access("sample-disk", "read", sequential=True)
+    instr.record_device_access("sample-disk", "write", sequential=False)
+    seq_reads = instr.registry.get(
+        "device.accesses",
+        {"device": "sample-disk", "kind": "read", "pattern": "seq"},
+    )
+    random_writes = instr.registry.get(
+        "device.accesses",
+        {"device": "sample-disk", "kind": "write", "pattern": "random"},
+    )
+    assert seq_reads.value == 5
+    assert random_writes.value == 1
+
+
+def test_recording_telemetry_never_touches_the_cost_model():
+    cost = CostModel()
+    instr = Instrumentation(cost_model=cost)
+    instr.counter("maintenance.inserts").inc(100)
+    instr.record_device_access("sample-disk", "write", sequential=True, count=9)
+    with instr.span("refresh"):
+        pass
+    instr.emit("refresh.completed")
+    assert cost.stats.total_accesses == 0

@@ -1,0 +1,125 @@
+"""Unit tests for the event bus and the cost-clock tracer."""
+
+import pytest
+
+from repro.obs import EventBus, Tracer
+from repro.storage.cost_model import CostModel
+
+
+# -- events ----------------------------------------------------------------
+
+
+def test_emit_without_subscribers_is_a_no_op():
+    bus = EventBus()
+    assert not bus.active
+    # An invalid name would raise if the fast path did any work.
+    assert bus.emit("Not A Valid Name") is None
+
+
+def test_emit_fans_out_and_sequences():
+    bus = EventBus()
+    seen_a, seen_b = [], []
+    bus.subscribe(seen_a.append)
+    bus.subscribe(seen_b.append)
+    assert bus.active
+    bus.emit("demo.first", cost_seconds=1.0, detail="x")
+    bus.emit("demo.second")
+    assert [e.name for e in seen_a] == ["demo.first", "demo.second"]
+    assert seen_a == seen_b
+    assert [e.seq for e in seen_a] == [1, 2]
+    assert seen_a[0].attrs == {"detail": "x"}
+    assert seen_a[0].to_dict() == {
+        "event": "demo.first",
+        "seq": 1,
+        "cost_seconds": 1.0,
+        "detail": "x",
+    }
+
+
+def test_unsubscribe_detaches_the_sink():
+    bus = EventBus()
+    seen = []
+    unsubscribe = bus.subscribe(seen.append)
+    bus.emit("demo.first")
+    unsubscribe()
+    unsubscribe()  # idempotent
+    bus.emit("demo.second")
+    assert [e.name for e in seen] == ["demo.first"]
+    assert not bus.active
+
+
+def test_active_emit_validates_names():
+    bus = EventBus()
+    bus.subscribe(lambda e: None)
+    with pytest.raises(ValueError):
+        bus.emit("NotDotted")
+
+
+# -- tracing ---------------------------------------------------------------
+
+
+def test_span_duration_is_cost_model_seconds():
+    cost = CostModel()
+    tracer = Tracer(cost_model=cost)
+    with tracer.span("demo.step"):
+        cost.charge("read", sequential=True, count=10)
+    (span,) = tracer.finished
+    assert span.duration_seconds == pytest.approx(
+        10 * cost.disk.seq_read_ms / 1000.0
+    )
+    assert span.io.seq_reads == 10
+    assert span.blocks == 10
+
+
+def test_spans_nest_via_the_stack():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        assert tracer.current.name == "outer"
+        with tracer.span("inner"):
+            assert tracer.current.name == "inner"
+    inner, outer = tracer.finished
+    assert inner.parent == "outer"
+    assert outer.parent is None
+    assert tracer.current is None
+
+
+def test_span_records_even_when_the_block_raises():
+    cost = CostModel()
+    tracer = Tracer(cost_model=cost)
+    with pytest.raises(RuntimeError):
+        with tracer.span("demo.crashing"):
+            cost.charge("write", sequential=False)
+            raise RuntimeError("mid-flight failure")
+    (span,) = tracer.finished
+    assert span.io.random_writes == 1
+
+
+def test_max_spans_bounds_retention():
+    tracer = Tracer(max_spans=3)
+    for idx in range(5):
+        with tracer.span(f"step_{idx}"):
+            pass
+    assert [s.name for s in tracer.finished] == ["step_2", "step_3", "step_4"]
+
+
+def test_tracer_without_cost_model_reads_zero():
+    tracer = Tracer()
+    with tracer.span("demo.step") as span:
+        span.set("answer", 42)
+    (span,) = tracer.finished
+    assert span.duration_seconds == 0.0
+    assert span.io is None
+    assert span.blocks == 0
+    assert span.attrs["answer"] == 42
+
+
+def test_span_end_events_flow_through_the_bus():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    tracer = Tracer(event_bus=bus)
+    with tracer.span("demo.step"):
+        pass
+    (event,) = seen
+    assert event.name == "trace.span_end"
+    assert event.attrs["span"] == "demo.step"

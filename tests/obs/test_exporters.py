@@ -1,0 +1,94 @@
+"""Unit tests for the JSONL, Prometheus and snapshot exporters."""
+
+import io
+import json
+
+from repro.obs import (
+    EventBus,
+    JsonlEventSink,
+    MetricsRegistry,
+    Tracer,
+    prometheus_text,
+    snapshot,
+    snapshot_json,
+    write_spans_jsonl,
+)
+from repro.storage.cost_model import CostModel
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("maintenance.inserts", {"strategy": "candidate"}).inc(7)
+    registry.gauge("sample.pending_log_elements", {"strategy": "candidate"}).set(3)
+    registry.histogram(
+        "refresh.cost_seconds", {"strategy": "candidate"}, buckets=(1.0, 10.0)
+    ).observe(0.5)
+    return registry
+
+
+def test_jsonl_event_sink_writes_one_line_per_event():
+    bus = EventBus()
+    stream = io.StringIO()
+    sink = JsonlEventSink(stream)
+    bus.subscribe(sink)
+    bus.emit("demo.first", cost_seconds=0.25, detail="x")
+    bus.emit("demo.second")
+    lines = stream.getvalue().splitlines()
+    assert sink.events_written == 2
+    first = json.loads(lines[0])
+    assert first == {
+        "event": "demo.first",
+        "seq": 1,
+        "cost_seconds": 0.25,
+        "detail": "x",
+    }
+
+
+def test_write_spans_jsonl_round_trips():
+    cost = CostModel()
+    tracer = Tracer(cost_model=cost)
+    with tracer.span("demo.step", phase="write"):
+        cost.charge("write", sequential=True, count=2)
+    stream = io.StringIO()
+    assert write_spans_jsonl(tracer, stream) == 1
+    record = json.loads(stream.getvalue())
+    assert record["span"] == "demo.step"
+    assert record["phase"] == "write"
+    assert record["blocks"]["seq_writes"] == 2
+
+
+def test_prometheus_text_renders_all_kinds():
+    text = prometheus_text(populated_registry())
+    assert "# TYPE maintenance_inserts counter" in text
+    assert 'maintenance_inserts{strategy="candidate"} 7' in text
+    assert 'sample_pending_log_elements{strategy="candidate"} 3' in text
+    assert '_bucket{strategy="candidate",le="1"} 1' in text
+    assert '_bucket{strategy="candidate",le="+Inf"} 1' in text
+    assert 'refresh_cost_seconds_count{strategy="candidate"} 1' in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_help_comes_from_the_catalogue():
+    text = prometheus_text(populated_registry())
+    help_lines = [l for l in text.splitlines() if l.startswith("# HELP")]
+    assert any("maintenance_inserts" in l for l in help_lines)
+    # HELP/TYPE emitted once per metric family, not per label set
+    registry = MetricsRegistry()
+    registry.counter("maintenance.inserts", {"strategy": "candidate"})
+    registry.counter("maintenance.inserts", {"strategy": "full"})
+    text = prometheus_text(registry)
+    assert text.count("# TYPE maintenance_inserts") == 1
+
+
+def test_snapshot_includes_spans_only_when_a_tracer_is_given():
+    registry = populated_registry()
+    assert "spans" not in snapshot(registry)
+    tracer = Tracer()
+    with tracer.span("demo.step"):
+        pass
+    doc = snapshot(registry, tracer)
+    assert doc["spans"][0]["span"] == "demo.step"
+    # and the JSON form is valid, newline-terminated JSON
+    text = snapshot_json(registry, tracer)
+    assert json.loads(text)["spans"][0]["span"] == "demo.step"
+    assert text.endswith("\n")

@@ -1,0 +1,70 @@
+"""Unit tests for the strict, catalogue-backed metrics registry."""
+
+import pytest
+
+from repro.obs import INSTRUMENTS, MetricsRegistry
+
+
+def test_create_or_get_returns_the_same_object():
+    registry = MetricsRegistry()
+    first = registry.counter("maintenance.inserts", {"strategy": "candidate"})
+    again = registry.counter("maintenance.inserts", {"strategy": "candidate"})
+    assert first is again
+    other = registry.counter("maintenance.inserts", {"strategy": "full"})
+    assert other is not first
+    assert len(registry) == 2
+
+
+def test_strict_registry_rejects_uncatalogued_names():
+    registry = MetricsRegistry()
+    with pytest.raises(KeyError, match="not declared"):
+        registry.counter("made.up_name")
+
+
+def test_strict_registry_rejects_kind_mismatch_with_catalogue():
+    registry = MetricsRegistry()
+    assert INSTRUMENTS["maintenance.inserts"].kind == "counter"
+    with pytest.raises(TypeError, match="catalogued as a counter"):
+        registry.gauge("maintenance.inserts")
+
+
+def test_existing_instrument_rejects_kind_mismatch():
+    registry = MetricsRegistry(strict=False)
+    registry.counter("scratch.thing")
+    with pytest.raises(TypeError, match="already exists as a counter"):
+        registry.gauge("scratch.thing")
+
+
+def test_lenient_registry_still_validates_name_shape():
+    registry = MetricsRegistry(strict=False)
+    registry.counter("scratch.thing")  # fine: shape OK, catalogue skipped
+    with pytest.raises(ValueError, match="lowercase dotted"):
+        registry.counter("NotDotted")
+
+
+def test_get_without_creating():
+    registry = MetricsRegistry()
+    assert registry.get("maintenance.inserts") is None
+    created = registry.counter("maintenance.inserts")
+    assert registry.get("maintenance.inserts") is created
+
+
+def test_snapshot_covers_every_kind():
+    registry = MetricsRegistry(strict=False)
+    registry.counter("snap.counter").inc(3)
+    registry.gauge("snap.gauge").set(1.5)
+    registry.histogram("snap.histogram", buckets=(1.0, 2.0)).observe(0.5)
+    doc = registry.snapshot()
+    by_name = {entry["name"]: entry for entry in doc["instruments"]}
+    assert by_name["snap.counter"]["value"] == 3
+    assert by_name["snap.gauge"]["value"] == 1.5
+    assert by_name["snap.histogram"]["count"] == 1
+    assert by_name["snap.histogram"]["buckets"] == {"1.0": 1, "2.0": 1}
+
+
+def test_every_catalogue_entry_is_instantiable():
+    registry = MetricsRegistry()
+    for name, spec in INSTRUMENTS.items():
+        factory = getattr(registry, spec.kind)
+        instrument = factory(name)
+        assert instrument.kind == spec.kind

@@ -80,6 +80,32 @@ class TestAccessStats:
         assert diff.seq_reads == a.seq_reads
         assert diff.random_writes == a.random_writes
 
+    def test_subtract_rejects_negative_components(self):
+        # Regression: `before - after` used to return silently negative
+        # counters; the counters are monotone, so that is always a bug.
+        before = AccessStats(seq_reads=1, random_writes=2)
+        after = AccessStats(seq_reads=5, random_writes=2)
+        with pytest.raises(ValueError, match="seq_reads"):
+            before - after
+
+    def test_subtract_reports_every_negative_component(self):
+        with pytest.raises(ValueError, match="seq_reads, random_writes"):
+            AccessStats() - AccessStats(seq_reads=1, random_writes=1)
+
+    def test_difference_clamp_floors_at_zero(self):
+        a = AccessStats(seq_reads=1, seq_writes=7)
+        b = AccessStats(seq_reads=5, seq_writes=3)
+        clamped = a.difference(b, clamp=True)
+        assert clamped.seq_reads == 0
+        assert clamped.seq_writes == 4
+        assert clamped.random_reads == 0
+        assert clamped.random_writes == 0
+
+    def test_difference_default_matches_subtraction(self):
+        a = AccessStats(seq_reads=5, seq_writes=3)
+        b = AccessStats(seq_reads=1, seq_writes=3)
+        assert a.difference(b) == a - b
+
     def test_copy_is_independent(self):
         a = AccessStats(seq_reads=1)
         b = a.copy()
