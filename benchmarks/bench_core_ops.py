@@ -2,15 +2,28 @@
 
 Throughput of the primitives every maintenance strategy is built from:
 reservoir acceptance, geometric skips, the three refresh precomputations,
-and a full refresh against the simulated disk.
+a full refresh against the simulated disk, and -- the paper's headline
+scaling claim -- the online insert path, scalar vs. skip-based batch.
+
+The insert benchmarks record ``elements_per_sec`` in their
+pytest-benchmark ``extra_info``; CI's ``bench-smoke`` job writes the JSON
+report (``BENCH_core_ops.json``) and ``repro bench-compare`` gates the
+batch-path numbers against the committed baseline (docs/performance.md).
 """
 
 from repro.core.logs import CandidateLogSource
+from repro.core.maintenance import SampleMaintainer
+from repro.core.policies import ManualPolicy
 from repro.core.refresh.array import ArrayRefresh
 from repro.core.refresh.nomem import NomemRefresh, span_of_gaps
 from repro.core.refresh.stack import StackRefresh, select_final_indexes
 from repro.core.reservoir import ReservoirSampler
 from repro.rng.random_source import RandomSource
+from repro.storage.block_device import SimulatedBlockDevice
+from repro.storage.cost_model import CostModel
+from repro.storage.files import LogFile, SampleFile
+from repro.storage.records import IntRecordCodec
+from repro.stream.source import uniform_batches, uniform_stream
 from tests.core.conftest import RefreshHarness
 
 
@@ -69,6 +82,99 @@ def test_nomem_precompute(benchmark):
     rng = RandomSource(seed=6)
     span = benchmark(lambda: span_of_gaps(rng, 10_000))
     assert span >= 9_999
+
+
+# -- online insert path: scalar vs. skip-based batch -------------------------
+#
+# The paper's setting: the dataset is much larger than the sample, so the
+# acceptance rate M/|R| is low and skip jumps are long.  The scalar path
+# pays one Python-level acceptance test per element; the batch path pays
+# O(accepted) -- the gap is the whole point of PR 3.
+
+
+def _insert_workload(scale) -> tuple[int, int, int]:
+    """(sample_size, initial_dataset, inserts) for the insert benchmarks."""
+    sample_size = min(scale.sample_size, 10_000)
+    return sample_size, 50 * sample_size, max(10_000, scale.inserts // 10)
+
+
+def _fresh_maintainer(sample_size: int, initial_dataset: int, seed: int):
+    cost = CostModel()
+    codec = IntRecordCodec()
+    rng = RandomSource(seed=seed)
+    sample = SampleFile(SimulatedBlockDevice(cost, "sample"), codec, sample_size)
+    sample.initialize(list(range(sample_size)))
+    return SampleMaintainer(
+        sample,
+        rng,
+        strategy="candidate",
+        initial_dataset_size=initial_dataset,
+        log=LogFile(SimulatedBlockDevice(cost, "log"), codec),
+        algorithm=StackRefresh(),
+        policy=ManualPolicy(),
+        cost_model=cost,
+    )
+
+
+def _bench_inserts(benchmark, scale, scalar: bool):
+    sample_size, initial_dataset, inserts = _insert_workload(scale)
+    stream = range(initial_dataset, initial_dataset + inserts)
+
+    def setup():
+        return (_fresh_maintainer(sample_size, initial_dataset, seed=11),), {}
+
+    def run(maintainer):
+        maintainer.insert_many(stream, scalar=scalar)
+        return maintainer.stats.candidates_logged
+
+    accepted = benchmark.pedantic(run, setup=setup, rounds=5, warmup_rounds=1)
+    benchmark.extra_info["elements"] = inserts
+    benchmark.extra_info["elements_per_sec"] = inserts / benchmark.stats.stats.mean
+    assert 0 < accepted < inserts
+
+
+def test_insert_scalar_throughput(benchmark, scale):
+    """The O(n) per-element online path: one acceptance test per insert."""
+    _bench_inserts(benchmark, scale, scalar=True)
+
+
+def test_insert_batch_throughput(benchmark, scale):
+    """The O(accepted) skip-based batch path (bit-identical to scalar)."""
+    _bench_inserts(benchmark, scale, scalar=False)
+
+
+def test_stream_generation_batch(benchmark, scale):
+    """Batched stream source: producer-side cost of one refresh period."""
+    _, _, count = _insert_workload(scale)
+
+    def run():
+        rng = RandomSource(seed=12)
+        total = 0
+        for batch in uniform_batches(rng, 0, 1 << 30, count, batch_size=8192):
+            total += len(batch)
+        return total
+
+    total = benchmark(run)
+    benchmark.extra_info["elements"] = count
+    benchmark.extra_info["elements_per_sec"] = count / benchmark.stats.stats.mean
+    assert total == count
+
+
+def test_stream_generation_scalar(benchmark, scale):
+    """Scalar stream source, for the producer-side comparison floor."""
+    _, _, count = _insert_workload(scale)
+
+    def run():
+        rng = RandomSource(seed=12)
+        total = 0
+        for _ in uniform_stream(rng, 0, 1 << 30, count):
+            total += 1
+        return total
+
+    total = benchmark(run)
+    benchmark.extra_info["elements"] = count
+    benchmark.extra_info["elements_per_sec"] = count / benchmark.stats.stats.mean
+    assert total == count
 
 
 def test_full_refresh_stack(benchmark):

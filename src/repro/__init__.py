@@ -27,6 +27,7 @@ Quickstart
 ...     algorithm=StackRefresh(), policy=PeriodicPolicy(500), cost_model=cost,
 ... )
 >>> maintainer.insert_many(range(1000, 3000))
+2000
 >>> maintainer.stats.refreshes
 4
 """

@@ -85,6 +85,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--tolerance", type=float, default=0.10,
         help="maximum acceptable relative error on total cost",
     )
+    validate.add_argument(
+        "--scalar",
+        action="store_true",
+        help=(
+            "run the reference implementation with element-wise inserts "
+            "instead of the skip-based batch path (slower, same counts)"
+        ),
+    )
+
+    from repro.devtools.bench_compare import add_bench_compare_parser
+
+    add_bench_compare_parser(sub)
     return parser
 
 
@@ -114,10 +126,15 @@ def main(argv: list[str] | None = None) -> int:
 
         return run_stats_command(args)
 
+    if args.command == "bench-compare":
+        from repro.devtools.bench_compare import run_bench_compare_command
+
+        return run_bench_compare_command(args)
+
     if args.command == "validate":
         from repro.experiments.validation import validate_engine
 
-        report = validate_engine(trials=args.trials, seed=args.seed)
+        report = validate_engine(trials=args.trials, seed=args.seed, scalar=args.scalar)
         print(report.summary())
         if not report.passed(args.tolerance):
             print(f"FAILED: worst error exceeds {args.tolerance:.0%}")

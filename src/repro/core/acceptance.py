@@ -177,6 +177,26 @@ class BiasedCandidateLogger:
             return True
         return False
 
+    def insert_many(self, elements) -> int:
+        """Batched log phase; returns the number of accepted elements.
+
+        Arbitrary acceptance laws draw one variate per element (they have
+        no skip distribution), so the acceptance loop stays element-wise
+        -- bit-identical draws -- but the accepted records are appended
+        in one bulk :meth:`~repro.storage.files.LogFile.append_many`
+        call, which charges the same block writes in the same order.
+        """
+        if not isinstance(elements, (list, tuple, range)):
+            elements = list(elements)
+        accept = self._acceptance.accept
+        rng = self._rng
+        accepted = [element for element in elements if accept(rng)]
+        self.inserts += len(elements)
+        if accepted:
+            self._log.append_many(accepted)
+            self.candidates += len(accepted)
+        return len(accepted)
+
     def source(self):
         from repro.core.logs import CandidateLogSource
 

@@ -27,7 +27,7 @@ their input.
 
 from __future__ import annotations
 
-from typing import Protocol, TypeVar
+from typing import Protocol, Sequence, TypeVar
 
 from repro.core.reservoir import ReservoirSampler
 from repro.rng.random_source import RandomSource
@@ -116,6 +116,23 @@ class CandidateLogger:
             return True
         return False
 
+    def insert_many(
+        self, elements: Sequence[T], max_accepts: int | None = None
+    ) -> tuple[int, int]:
+        """Batched log phase: skip-jump to each candidate, append in bulk.
+
+        Returns ``(consumed, accepted)``.  ``consumed < len(elements)``
+        only when ``max_accepts`` acceptances were reached (then the call
+        stops right after the accepting element, so a refresh policy can
+        fire at exactly the element it would fire at under scalar
+        inserts).  Same PRNG draws, log records and block writes as
+        ``len(elements)`` scalar :meth:`insert` calls.
+        """
+        consumed, accepted = self._sampler.test_many(len(elements), max_accepts)
+        if accepted:
+            self._log.append_many([elements[i] for i in accepted])
+        return consumed, len(accepted)
+
     def source(self) -> "CandidateLogSource":
         """The candidate source for the coming refresh."""
         return CandidateLogSource(self._log)
@@ -152,6 +169,12 @@ class FullLogger:
         self._log.append(element)
         self._dataset_size += 1
         return True
+
+    def insert_many(self, elements: Sequence[T]) -> int:
+        """Batched log phase: every element appended, one bulk call."""
+        self._log.append_many(elements)
+        self._dataset_size += len(elements)
+        return len(elements)
 
     def source(self, sample_size: int, rng: RandomSource) -> "FullLogSource":
         """Sec. 5 adapter: view this full log as a candidate sequence."""

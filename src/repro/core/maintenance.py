@@ -149,6 +149,7 @@ class SampleMaintainer:
         self._c_refreshes = instr.counter("maintenance.refreshes", labels)
         self._c_displaced = instr.counter("maintenance.displaced", labels)
         self._c_log_appended = instr.counter("log.appended_elements")
+        self._c_skipped = instr.counter("maintenance.inserts_skipped", labels)
         self._g_pending = instr.gauge("sample.pending_log_elements")
         self._g_log_blocks = instr.gauge("log.blocks")
         self._h_candidates = instr.histogram(
@@ -242,9 +243,92 @@ class SampleMaintainer:
             self._full_logger.insert(element)
         return True
 
-    def insert_many(self, elements) -> None:
-        for element in elements:
-            self.insert(element)
+    def insert_many(self, elements, *, scalar: bool = False) -> int:
+        """Process a batch of insertions; returns how many were processed.
+
+        The default is the **skip-based batch path**: Vitter's skip
+        variates jump directly from one accepted candidate to the next,
+        so the Python-level work per batch is O(accepted), not O(batch).
+        The path is bit-identical to element-wise :meth:`insert` -- same
+        PRNG draws in the same order, same sample contents, same log
+        records, same :class:`~repro.storage.cost_model.AccessStats`,
+        same metric counters -- because the skip stream is exactly the
+        one the scalar acceptance test consumes lazily.
+
+        Batches are split at refresh boundaries: the refresh policy's
+        ``batch_quota`` bounds each chunk so an auto-refresh fires after
+        exactly the element it would fire after under scalar inserts.
+        Policies without ``batch_quota``, and ``scalar=True``, fall back
+        to element-wise processing.
+        """
+        quota = getattr(self._policy, "batch_quota", None)
+        if scalar or quota is None:
+            count = 0
+            for element in elements:
+                self.insert(element)
+                count += 1
+            return count
+        if not isinstance(elements, (list, tuple, range)):
+            elements = list(elements)
+        total = len(elements)
+        obs = self._instr
+        done = 0
+        while done < total:
+            ops_limit, accept_limit = quota(
+                self._ops_since_refresh, self.pending_log_elements
+            )
+            end = total if ops_limit is None else min(total, done + ops_limit)
+            chunk = elements[done:end]
+            checkpoint = self._checkpoint()
+            if obs is not None and obs.trace_inserts:
+                with obs.span(
+                    "batch_insert", strategy=self._strategy, n=len(chunk)
+                ) as span:
+                    consumed, accepted = self._apply_insert_batch(chunk, accept_limit)
+                    span.set("consumed", consumed)
+                    span.set("accepted", accepted)
+            else:
+                consumed, accepted = self._apply_insert_batch(chunk, accept_limit)
+            self._charge_online(checkpoint)
+            self.stats.inserts += consumed
+            self._ops_since_refresh += consumed
+            done += consumed
+            if obs is not None:
+                self._c_inserts.inc(consumed)
+                rejected = consumed - accepted
+                if accepted:
+                    self._c_accepted.inc(accepted)
+                    if self._strategy != "immediate":
+                        self._c_log_appended.inc(accepted)
+                if rejected:
+                    self._c_rejected.inc(rejected)
+                    self._c_skipped.inc(rejected)
+                self._sync_gauges()
+            if self._policy.should_refresh(
+                self._ops_since_refresh, self.pending_log_elements
+            ):
+                self.refresh()
+        return total
+
+    def _apply_insert_batch(self, chunk, accept_limit: int | None) -> tuple[int, int]:
+        """Batched acceptance + write/append; returns (consumed, accepted)."""
+        if self._strategy == "immediate":
+            consumed, placed = self._reservoir.offer_many(len(chunk))
+            for index, slot in placed:
+                self._sample.write_random(slot, chunk[index])
+            self.stats.candidates_logged += len(placed)
+            return consumed, len(placed)
+        if self._strategy == "candidate":
+            consumed, accepted = self._candidate_logger.insert_many(
+                chunk, max_accepts=accept_limit
+            )
+            self.stats.candidates_logged += accepted
+            return consumed, accepted
+        # Full logging appends every element, so a log-append quota is an
+        # operation quota.
+        take = len(chunk) if accept_limit is None else min(len(chunk), accept_limit)
+        self._full_logger.insert_many(chunk[:take] if take < len(chunk) else chunk)
+        return take, take
 
     def refresh(self) -> RefreshResult | None:
         """Run the deferred refresh (the offline phase); no-op if immediate."""

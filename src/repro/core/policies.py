@@ -15,7 +15,15 @@ __all__ = ["RefreshPolicy", "PeriodicPolicy", "ThresholdPolicy", "ManualPolicy"]
 
 
 class RefreshPolicy(Protocol):
-    """Decides whether to refresh after an operation was processed."""
+    """Decides whether to refresh after an operation was processed.
+
+    Policies may additionally implement the optional ``batch_quota``
+    extension (see the built-in policies): the batched insert path of
+    :class:`~repro.core.maintenance.SampleMaintainer` uses it to bound
+    how far a batch may run before a refresh could become due.  Policies
+    without it still work -- the maintainer falls back to element-wise
+    inserts, preserving exact refresh timing.
+    """
 
     def should_refresh(self, operations_since_refresh: int, log_elements: int) -> bool:
         """``operations_since_refresh`` counts dataset operations;
@@ -37,6 +45,12 @@ class PeriodicPolicy:
 
     def should_refresh(self, operations_since_refresh: int, log_elements: int) -> bool:
         return operations_since_refresh >= self.period
+
+    def batch_quota(
+        self, operations_since_refresh: int, log_elements: int
+    ) -> tuple[int | None, int | None]:
+        """``(max_operations, max_log_appends)`` before a refresh is due."""
+        return max(1, self.period - operations_since_refresh), None
 
     def notify_refresh(self) -> None:
         return None
@@ -60,6 +74,15 @@ class ThresholdPolicy:
     def should_refresh(self, operations_since_refresh: int, log_elements: int) -> bool:
         return log_elements >= self.max_log_elements
 
+    def batch_quota(
+        self, operations_since_refresh: int, log_elements: int
+    ) -> tuple[int | None, int | None]:
+        """Unbounded operations, but stop at the triggering log append."""
+        if log_elements >= self.max_log_elements:
+            # Already due: any next operation triggers, accepted or not.
+            return 1, None
+        return None, self.max_log_elements - log_elements
+
     def notify_refresh(self) -> None:
         return None
 
@@ -72,6 +95,12 @@ class ManualPolicy:
 
     def should_refresh(self, operations_since_refresh: int, log_elements: int) -> bool:
         return False
+
+    def batch_quota(
+        self, operations_since_refresh: int, log_elements: int
+    ) -> tuple[int | None, int | None]:
+        """No refresh ever: batches are unbounded."""
+        return None, None
 
     def notify_refresh(self) -> None:
         return None

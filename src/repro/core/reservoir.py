@@ -150,6 +150,159 @@ class ReservoirSampler:
             return True
         return False
 
+    # -- batched acceptance (the skip-jumping fast path) ---------------------
+
+    def test_many(
+        self, n: int, max_accepts: int | None = None
+    ) -> tuple[int, list[int]]:
+        """Acceptance-test up to ``n`` arrivals in one call.
+
+        Returns ``(consumed, accepted)`` where ``accepted`` holds the
+        0-based indexes *within the consumed prefix* that became
+        candidates.  ``consumed < n`` only when ``max_accepts`` was
+        reached -- then the call stops right after the accepting element,
+        leaving the sampler in exactly the state ``consumed`` scalar
+        :meth:`test` calls would have left it in.
+
+        The skip variates are drawn lazily in the same order as the
+        scalar path, so for a given PRNG state the accepted positions
+        (and the PRNG state afterwards) are bit-identical to per-element
+        :meth:`test` calls; Python work is O(accepted), not O(n).
+        """
+        if self._seen < self._capacity:
+            raise RuntimeError(
+                "candidate test before the initial sample is complete; "
+                "build the sample first (e.g. with build_reservoir())"
+            )
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        if max_accepts is not None and max_accepts <= 0:
+            raise ValueError("max_accepts must be positive (or None)")
+        if self._skip_method == "r":
+            return self._test_many_bernoulli(n, max_accepts)
+        start = self._seen
+        end = start + n
+        pos = start
+        accepted: list[int] = []
+        next_accept = self._next_accept
+        while True:
+            if next_accept is None:
+                if pos >= end:
+                    break
+                # Lazy draw, exactly as the scalar path: drawn at the
+                # arrival of element pos+1 with ``seen`` still == pos.
+                skip = self._rng.reservoir_skip(
+                    self._capacity, pos, method=self._skip_method
+                )
+                next_accept = pos + skip + 1
+            if next_accept <= end:
+                accepted.append(next_accept - start - 1)
+                pos = next_accept
+                next_accept = None
+                if max_accepts is not None and len(accepted) >= max_accepts:
+                    break
+            else:
+                pos = end
+                break
+        self._seen = pos
+        self._next_accept = next_accept
+        return pos - start, accepted
+
+    def _test_many_bernoulli(
+        self, n: int, max_accepts: int | None
+    ) -> tuple[int, list[int]]:
+        """Literal Algorithm R fallback: one draw per element, batched."""
+        accepted: list[int] = []
+        seen = self._seen
+        capacity = self._capacity
+        random = self._rng.random
+        consumed = 0
+        for i in range(n):
+            seen += 1
+            consumed += 1
+            if random() * seen < capacity:
+                accepted.append(i)
+                if max_accepts is not None and len(accepted) >= max_accepts:
+                    break
+        self._seen = seen
+        return consumed, accepted
+
+    def offer_many(
+        self, n: int, max_accepts: int | None = None
+    ) -> tuple[int, list[tuple[int, int]]]:
+        """Batched :meth:`offer`: returns ``(consumed, [(index, slot), ...])``.
+
+        ``index`` is the 0-based position within the consumed prefix,
+        ``slot`` the sample slot the element replaces.  Victim-slot draws
+        are interleaved with the skip draws exactly as scalar
+        :meth:`offer` interleaves them, so the variate stream -- and thus
+        every later decision -- is bit-identical to the scalar path.
+        """
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        if max_accepts is not None and max_accepts <= 0:
+            raise ValueError("max_accepts must be positive (or None)")
+        placed: list[tuple[int, int]] = []
+        consumed = 0
+        while self._seen < self._capacity and consumed < n:
+            placed.append((consumed, self._seen))
+            self._seen += 1
+            consumed += 1
+            if max_accepts is not None and len(placed) >= max_accepts:
+                return consumed, placed
+        if consumed >= n:
+            return consumed, placed
+        if self._skip_method == "r":
+            return self._offer_many_bernoulli(n, consumed, placed, max_accepts)
+        start = self._seen
+        end = start + (n - consumed)
+        pos = start
+        next_accept = self._next_accept
+        while True:
+            if next_accept is None:
+                if pos >= end:
+                    break
+                skip = self._rng.reservoir_skip(
+                    self._capacity, pos, method=self._skip_method
+                )
+                next_accept = pos + skip + 1
+            if next_accept <= end:
+                # Slot draw happens at acceptance time, before the next
+                # skip draw -- the scalar ordering.
+                slot = self._rng.randrange(self._capacity)
+                placed.append((consumed + next_accept - start - 1, slot))
+                pos = next_accept
+                next_accept = None
+                if max_accepts is not None and len(placed) >= max_accepts:
+                    break
+            else:
+                pos = end
+                break
+        self._seen = pos
+        self._next_accept = next_accept
+        return consumed + pos - start, placed
+
+    def _offer_many_bernoulli(
+        self,
+        n: int,
+        consumed: int,
+        placed: list[tuple[int, int]],
+        max_accepts: int | None,
+    ) -> tuple[int, list[tuple[int, int]]]:
+        seen = self._seen
+        capacity = self._capacity
+        random = self._rng.random
+        for i in range(consumed, n):
+            seen += 1
+            consumed += 1
+            if random() * seen < capacity:
+                placed.append((i, self._rng.randrange(capacity)))
+                if max_accepts is not None and len(placed) >= max_accepts:
+                    self._seen = seen
+                    return consumed, placed
+        self._seen = seen
+        return consumed, placed
+
 
 def build_reservoir(
     items: Iterable[T],

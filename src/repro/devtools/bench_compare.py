@@ -1,0 +1,187 @@
+"""The ``repro bench-compare`` subcommand: the CI throughput-regression gate.
+
+Compares a freshly produced pytest-benchmark JSON report against the
+committed baseline (``benchmarks/BENCH_core_ops.json``) and fails when a
+gated benchmark's throughput dropped by more than the threshold.  By
+default only the **batch-path** benchmarks are gated (names matching
+``batch``): they carry the paper's O(accepted) scaling claim, while the
+scalar benchmarks exist as the comparison floor and may drift with
+interpreter noise.
+
+Throughput is read from ``extra_info["elements_per_sec"]`` when the
+benchmark recorded it (benchmarks/bench_core_ops.py does), falling back
+to pytest-benchmark's ``stats.ops`` (rounds per second).  Exit status: 0
+on pass or explicit skip (no baseline yet), 1 on regression, 2 on usage
+errors (unreadable/invalid reports).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "BenchComparison",
+    "DEFAULT_BASELINE",
+    "DEFAULT_THRESHOLD",
+    "add_bench_compare_parser",
+    "compare_reports",
+    "load_throughputs",
+    "run_bench_compare_command",
+]
+
+DEFAULT_BASELINE = Path("benchmarks") / "BENCH_core_ops.json"
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_SELECT = "batch"
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """One gated benchmark's baseline-vs-current throughput."""
+
+    name: str
+    baseline: float
+    current: float
+
+    @property
+    def change(self) -> float:
+        """Relative throughput change: +0.10 = 10% faster, -0.30 = 30% slower."""
+        if self.baseline <= 0:
+            return 0.0
+        return self.current / self.baseline - 1.0
+
+    def regressed(self, threshold: float) -> bool:
+        return self.change < -threshold
+
+
+def load_throughputs(path: Path) -> dict[str, float]:
+    """Map benchmark name -> throughput from a pytest-benchmark JSON report.
+
+    Prefers the ``elements_per_sec`` extra_info (workload elements per
+    second, comparable across benchmarks that resize their inner loop);
+    falls back to ``stats.ops``.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise ValueError(f"{path}: not a pytest-benchmark JSON report")
+    throughputs: dict[str, float] = {}
+    for bench in benchmarks:
+        name = bench.get("name")
+        if not name:
+            continue
+        extra = bench.get("extra_info") or {}
+        value = extra.get("elements_per_sec")
+        if value is None:
+            value = (bench.get("stats") or {}).get("ops")
+        if value is None:
+            continue
+        throughputs[str(name)] = float(value)
+    return throughputs
+
+
+def compare_reports(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    select: str = DEFAULT_SELECT,
+) -> list[BenchComparison]:
+    """Pair up gated benchmarks present in both reports."""
+    pattern = re.compile(select)
+    return [
+        BenchComparison(name=name, baseline=baseline[name], current=current[name])
+        for name in sorted(baseline)
+        if name in current and pattern.search(name)
+    ]
+
+
+def add_bench_compare_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser:
+    parser = sub.add_parser(
+        "bench-compare",
+        help="gate benchmark throughput against the committed baseline",
+        description=(
+            "Compare a pytest-benchmark JSON report against the committed "
+            "baseline and fail on a throughput regression beyond the "
+            "threshold. See docs/performance.md."
+        ),
+    )
+    parser.add_argument(
+        "current",
+        help="fresh pytest-benchmark JSON report (--benchmark-json output)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help=f"committed baseline report (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="maximum tolerated throughput drop (default: 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--select",
+        default=DEFAULT_SELECT,
+        help=(
+            "regex choosing which benchmarks to gate "
+            f"(default: {DEFAULT_SELECT!r}, the batch-path benchmarks)"
+        ),
+    )
+    return parser
+
+
+def run_bench_compare_command(args: argparse.Namespace) -> int:
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(
+            f"bench-compare: no baseline at {baseline_path} -- skipping the "
+            "regression gate (commit one to enable it; see docs/performance.md)"
+        )
+        return 0
+    current_path = Path(args.current)
+    if not current_path.exists():
+        print(f"bench-compare: no such report: {current_path}", file=sys.stderr)
+        return 2
+    try:
+        baseline = load_throughputs(baseline_path)
+        current = load_throughputs(current_path)
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"bench-compare: {exc}", file=sys.stderr)
+        return 2
+    if not 0.0 < args.threshold < 1.0:
+        print("bench-compare: --threshold must be in (0, 1)", file=sys.stderr)
+        return 2
+    comparisons = compare_reports(baseline, current, select=args.select)
+    if not comparisons:
+        print(
+            f"bench-compare: no benchmark matching {args.select!r} appears in "
+            "both reports -- nothing gated"
+        )
+        return 0
+    width = max(len(c.name) for c in comparisons)
+    regressions = 0
+    for c in comparisons:
+        verdict = "ok"
+        if c.regressed(args.threshold):
+            verdict = "REGRESSED"
+            regressions += 1
+        print(
+            f"  {c.name:<{width}}  baseline {c.baseline:>14,.0f}/s  "
+            f"current {c.current:>14,.0f}/s  {c.change:>+7.1%}  {verdict}"
+        )
+    if regressions:
+        print(
+            f"bench-compare: {regressions} benchmark(s) dropped more than "
+            f"{args.threshold:.0%} below the committed baseline"
+        )
+        return 1
+    print(
+        f"bench-compare: {len(comparisons)} gated benchmark(s) within "
+        f"{args.threshold:.0%} of baseline"
+    )
+    return 0

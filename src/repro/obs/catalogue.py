@@ -47,6 +47,11 @@ INSTRUMENTS: dict[str, InstrumentSpec] = {
     "maintenance.rejected": InstrumentSpec(
         "counter", "acceptance tests that discarded the element"
     ),
+    "maintenance.inserts_skipped": InstrumentSpec(
+        "counter",
+        "elements the skip-based batch path rejected without per-element "
+        "work (batch path only; scalar inserts leave it at zero)",
+    ),
     "maintenance.refreshes": InstrumentSpec(
         "counter", "deferred refresh cycles completed"
     ),

@@ -15,6 +15,11 @@ from repro.stream.source import (
     uniform_stream,
     zipf_stream,
     bursty_stream,
+    batched,
+    counter_batches,
+    uniform_batches,
+    zipf_batches,
+    bursty_batches,
 )
 from repro.stream.operator import StreamSampleOperator
 
@@ -24,5 +29,10 @@ __all__ = [
     "uniform_stream",
     "zipf_stream",
     "bursty_stream",
+    "batched",
+    "counter_batches",
+    "uniform_batches",
+    "zipf_batches",
+    "bursty_batches",
     "StreamSampleOperator",
 ]

@@ -43,11 +43,25 @@ class StreamSampleOperator:
         self._since_refresh += 1
 
     def process_many(self, elements) -> int:
-        """Process a batch; returns how many tuples were consumed."""
-        consumed = 0
-        for element in elements:
-            self.process(element)
-            consumed += 1
+        """Process a batch on the skip-based fast path; returns tuples consumed.
+
+        Consumption stops at the refresh boundary: a batch spanning it is
+        split, the prefix up to the boundary is consumed, and the
+        remainder is left to the caller -- who runs :meth:`refresh` (or
+        schedules it out of band) and re-offers the rest.  Without the
+        split, a large batch would silently defer the refresh past its
+        due point (the operator itself never refreshes inside the online
+        path).
+        """
+        if not isinstance(elements, (list, tuple, range)):
+            elements = list(elements)
+        budget = self._interval - self._since_refresh
+        if budget <= 0:
+            return 0
+        chunk = elements[:budget] if len(elements) > budget else elements
+        consumed = self._maintainer.insert_many(chunk)
+        self.tuples_processed += consumed
+        self._since_refresh += consumed
         return consumed
 
     def refresh_due(self) -> bool:

@@ -206,3 +206,54 @@ class TestReopen:
         fresh = LogFile(log._device, IntRecordCodec())
         with pytest.raises(ValueError):
             fresh.reopen(-1)
+
+
+class TestAppendMany:
+    """append_many charges the same device writes, in the same order, as a
+    per-element append loop -- the batch ingestion path depends on it."""
+
+    def test_matches_scalar_appends(self):
+        for n in (0, 1, EPB - 1, EPB, EPB + 1, EPB * 3 + 17):
+            batch_log, batch_model = make()
+            scalar_log, scalar_model = make()
+            batch_log.append_many(list(range(n)))
+            for i in range(n):
+                scalar_log.append(i)
+            assert batch_log.peek_all() == scalar_log.peek_all()
+            assert batch_model.stats == scalar_model.stats, f"n={n}"
+
+    def test_matches_scalar_across_chunked_calls(self):
+        batch_log, batch_model = make()
+        scalar_log, scalar_model = make()
+        chunks = [0, 1, EPB - 1, 3, EPB * 2, 5]
+        value = 0
+        for size in chunks:
+            batch_log.append_many(list(range(value, value + size)))
+            value += size
+        for i in range(value):
+            scalar_log.append(i)
+        assert batch_log.peek_all() == scalar_log.peek_all()
+        assert batch_model.stats == scalar_model.stats
+
+    def test_flush_after_batch_matches_scalar(self):
+        batch_log, batch_model = make()
+        scalar_log, scalar_model = make()
+        batch_log.append_many(list(range(EPB + 10)))
+        batch_log.flush()
+        for i in range(EPB + 10):
+            scalar_log.append(i)
+        scalar_log.flush()
+        assert batch_model.stats == scalar_model.stats
+
+    def test_extend_delegates_to_append_many(self):
+        log, model = make()
+        log.extend(range(EPB * 2 + 3))
+        assert len(log) == EPB * 2 + 3
+        assert model.stats.random_writes == 1  # rewind seek, first block
+        assert model.stats.seq_writes == 1
+
+    def test_accepts_tuples_and_iterators(self):
+        log, _ = make()
+        log.append_many((1, 2, 3))
+        log.append_many(iter([4, 5]))
+        assert log.peek_all() == [1, 2, 3, 4, 5]

@@ -59,3 +59,63 @@ class TestOperator:
         maintainer, _, _ = make_maintainer("candidate", StackRefresh(), seed=2)
         with pytest.raises(ValueError):
             StreamSampleOperator(maintainer, 0)
+
+
+class TestBatchRefreshBoundary:
+    """Regression: process_many must split batches at the refresh boundary.
+
+    Before PR 3 the batch path never checked ``refresh_due()`` mid-batch,
+    so one large batch could sail past the boundary and silently defer the
+    refresh -- breaking the operator's contract that refresh timing is
+    under the caller's control.
+    """
+
+    def test_batch_stops_at_boundary(self):
+        operator, _, _ = make_operator(refresh_interval=10)
+        consumed = operator.process_many(range(100, 200))
+        assert consumed == 10
+        assert operator.tuples_processed == 10
+        assert operator.refresh_due()
+
+    def test_consumes_nothing_when_refresh_overdue(self):
+        operator, _, _ = make_operator(refresh_interval=10)
+        assert operator.process_many(range(100, 110)) == 10
+        assert operator.refresh_due()
+        # Boundary reached: further batches consume zero until refresh runs.
+        assert operator.process_many(range(110, 120)) == 0
+        assert operator.tuples_processed == 10
+        operator.refresh()
+        assert operator.process_many(range(110, 120)) == 10
+
+    def test_reoffer_loop_matches_per_tuple_stream(self):
+        """Drain-and-refresh loop over batches visits the same boundaries
+        as the per-tuple loop, so both end with the same refresh count."""
+        batch_op, _, _ = make_operator(refresh_interval=35, seed=3)
+        tuple_op, _, _ = make_operator(refresh_interval=35, seed=3)
+
+        stream = list(range(100, 600))
+        offset = 0
+        while offset < len(stream):
+            consumed = batch_op.process_many(stream[offset : offset + 64])
+            offset += consumed
+            if batch_op.refresh_due():
+                batch_op.refresh()
+        for v in stream:
+            tuple_op.process(v)
+            if tuple_op.refresh_due():
+                tuple_op.refresh()
+
+        assert batch_op.tuples_processed == tuple_op.tuples_processed == 500
+        assert batch_op.refreshes == tuple_op.refreshes
+
+    def test_partial_batch_below_boundary(self):
+        operator, _, _ = make_operator(refresh_interval=100)
+        assert operator.process_many(range(100, 130)) == 30
+        assert not operator.refresh_due()
+        assert operator.process_many(range(130, 230)) == 70
+        assert operator.refresh_due()
+
+    def test_generator_input_consumed_correctly(self):
+        operator, _, _ = make_operator(refresh_interval=10)
+        consumed = operator.process_many(v for v in range(100, 125))
+        assert consumed == 10
