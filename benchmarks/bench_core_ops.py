@@ -13,6 +13,7 @@ batch-path numbers against the committed baseline (docs/performance.md).
 
 from repro.core.logs import CandidateLogSource
 from repro.core.maintenance import SampleMaintainer
+from repro.core.multi import MultiSampleManager
 from repro.core.policies import ManualPolicy
 from repro.core.refresh.array import ArrayRefresh
 from repro.core.refresh.nomem import NomemRefresh, span_of_gaps
@@ -141,6 +142,82 @@ def test_insert_scalar_throughput(benchmark, scale):
 def test_insert_batch_throughput(benchmark, scale):
     """The O(accepted) skip-based batch path (bit-identical to scalar)."""
     _bench_inserts(benchmark, scale, scalar=False)
+
+
+# -- fleet ingest: MultiSampleManager broadcast, scalar vs. batch ------------
+#
+# The serving catalog ingests through MultiSampleManager.insert_many, which
+# delegates whole batches to each maintainer's skip-based path.  The scalar
+# variant is the pre-delegation element-major loop (one Python-level insert
+# per element per sample) -- the fleet-sized version of the same gap.
+
+FLEET_SIZE = 4
+
+
+def _fresh_fleet(sample_size: int, initial_dataset: int, seed: int):
+    cost = CostModel()
+    manager = MultiSampleManager(cost)
+    codec = IntRecordCodec()
+    root = RandomSource(seed=seed)
+    for index in range(FLEET_SIZE):
+        rng = root.spawn(f"sample-{index}")
+        sample = SampleFile(
+            SimulatedBlockDevice(cost, f"s{index}.sample"), codec, sample_size
+        )
+        sample.initialize(list(range(sample_size)))
+        manager.add(
+            f"s{index}",
+            SampleMaintainer(
+                sample,
+                rng,
+                strategy="candidate",
+                initial_dataset_size=initial_dataset,
+                log=LogFile(SimulatedBlockDevice(cost, f"s{index}.log"), codec),
+                algorithm=StackRefresh(),
+                policy=ManualPolicy(),
+                cost_model=cost,
+            ),
+        )
+    return manager
+
+
+def _bench_fleet_ingest(benchmark, scale, scalar: bool):
+    sample_size, initial_dataset, inserts = _insert_workload(scale)
+    inserts = max(10_000, inserts // FLEET_SIZE)
+    stream = range(initial_dataset, initial_dataset + inserts)
+
+    def setup():
+        return (_fresh_fleet(sample_size, initial_dataset, seed=13),), {}
+
+    def run_batch(manager):
+        manager.insert_many(stream)
+        return sum(manager.get(n).stats.candidates_logged for n in manager.names())
+
+    def run_scalar(manager):
+        # The element-major broadcast loop insert_many used before it
+        # delegated to the skip-based batch path.
+        for element in stream:
+            manager.insert(element)
+        return sum(manager.get(n).stats.candidates_logged for n in manager.names())
+
+    accepted = benchmark.pedantic(
+        run_scalar if scalar else run_batch, setup=setup, rounds=5, warmup_rounds=1
+    )
+    processed = inserts * FLEET_SIZE
+    benchmark.extra_info["elements"] = processed
+    benchmark.extra_info["fleet_size"] = FLEET_SIZE
+    benchmark.extra_info["elements_per_sec"] = processed / benchmark.stats.stats.mean
+    assert 0 < accepted < processed
+
+
+def test_fleet_ingest_scalar_throughput(benchmark, scale):
+    """Element-major fleet broadcast: O(batch x fleet) Python-level work."""
+    _bench_fleet_ingest(benchmark, scale, scalar=True)
+
+
+def test_fleet_ingest_batch_throughput(benchmark, scale):
+    """Per-maintainer skip-based delegation: O(accepted) per sample."""
+    _bench_fleet_ingest(benchmark, scale, scalar=False)
 
 
 def test_stream_generation_batch(benchmark, scale):

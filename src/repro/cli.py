@@ -97,6 +97,10 @@ def _build_parser() -> argparse.ArgumentParser:
     from repro.devtools.bench_compare import add_bench_compare_parser
 
     add_bench_compare_parser(sub)
+
+    from repro.serve.cli import add_serve_sim_parser
+
+    add_serve_sim_parser(sub)
     return parser
 
 
@@ -130,6 +134,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.devtools.bench_compare import run_bench_compare_command
 
         return run_bench_compare_command(args)
+
+    if args.command == "serve-sim":
+        from repro.serve.cli import run_serve_sim_command
+
+        return run_serve_sim_command(args)
 
     if args.command == "validate":
         from repro.experiments.validation import validate_engine

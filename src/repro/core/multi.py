@@ -94,16 +94,41 @@ class MultiSampleManager:
         except KeyError:
             raise KeyError(f"no sample named {name!r}") from None
 
+    def replace(self, name: str, maintainer: SampleMaintainer) -> None:
+        """Swap in a new maintainer under an existing name.
+
+        The recovery path uses this: after a crash, the serving catalog
+        rebuilds a maintainer from its superblock checkpoint and swaps it
+        in without disturbing the rest of the fleet (or the registration
+        order, which iteration and reporting depend on).
+        """
+        if name not in self._maintainers:
+            raise KeyError(f"no sample named {name!r}")
+        self._maintainers[name] = maintainer
+
     def insert(self, element, only: "str | list[str] | None" = None) -> None:
         """Feed one element to all (or the named) samples."""
         for maintainer in self._targets(only):
             maintainer.insert(element)
 
     def insert_many(self, elements, only: "str | list[str] | None" = None) -> None:
+        """Feed a batch to all (or the named) samples via the batch path.
+
+        Delegates the whole batch to each maintainer's skip-based
+        :meth:`~repro.core.maintenance.SampleMaintainer.insert_many`, so a
+        fleet ingest pays O(accepted) Python-level work per sample instead
+        of O(batch x fleet).  Processing maintainer-major instead of
+        element-major changes nothing observable: every maintainer owns
+        its PRNG and its devices, so it sees the same elements in the same
+        order and makes bit-identical decisions, and the shared cost model
+        only accumulates (order-independent) counters.
+        """
         targets = self._targets(only)
-        for element in elements:
-            for maintainer in targets:
-                maintainer.insert(element)
+        if len(targets) > 1 and not isinstance(elements, (list, tuple, range)):
+            # One-shot iterables must be materialised before the fan-out.
+            elements = list(elements)
+        for maintainer in targets:
+            maintainer.insert_many(elements)
 
     def refresh_all(self) -> FleetReport:
         """Refresh every sample; returns the aggregate report."""

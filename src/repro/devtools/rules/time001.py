@@ -3,9 +3,10 @@
 The paper's evaluation counts block accesses and weights them with the
 disk parameters in :mod:`repro.storage.cost_model` (Sec. 6.1); results
 are therefore deterministic and hardware-independent.  A stray
-``time.time()`` / ``perf_counter()`` inside the core, storage, dbms or
-stream layers would mix wall-clock noise into quantities the cost model
-is supposed to derive.  Timing belongs either in the cost model itself or
+``time.time()`` / ``perf_counter()`` inside the core, storage, dbms,
+stream or serve layers would mix wall-clock noise into quantities the
+cost model is supposed to derive (the serving scheduler's event clock
+runs entirely on cost-model seconds).  Timing belongs either in the cost model itself or
 in explicitly-calibrating code (``storage/real_disk.py`` carries a
 file-wide suppression for exactly that reason).
 """
@@ -35,7 +36,7 @@ CLOCK_NAMES = frozenset(
     }
 )
 
-ACCOUNTED_DIRS = ("core", "storage", "dbms", "stream")
+ACCOUNTED_DIRS = ("core", "storage", "dbms", "stream", "serve")
 
 # The cost model is the one sanctioned owner of timing concepts.
 EXEMPT_FILES = frozenset({"storage/cost_model.py"})

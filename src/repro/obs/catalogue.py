@@ -97,6 +97,42 @@ INSTRUMENTS: dict[str, InstrumentSpec] = {
         "gauge", "candidates held in the geometric file's in-memory buffer",
         "elements",
     ),
+    # -- serving layer (repro.serve) ----------------------------------------
+    "serve.queries": InstrumentSpec(
+        "counter", "queries admitted and answered by the sample server"
+    ),
+    "serve.shed": InstrumentSpec(
+        "counter", "queries rejected by admission control (backpressure)"
+    ),
+    "serve.deferred": InstrumentSpec(
+        "counter", "queries deferred past the operation holding the device"
+    ),
+    "serve.refresh_jobs": InstrumentSpec(
+        "counter", "refresh jobs executed by the deterministic scheduler"
+    ),
+    "serve.forced_refreshes": InstrumentSpec(
+        "counter",
+        "refreshes forced on the read path by bounded_staleness/refresh_on_read",
+    ),
+    "serve.ingest_batches": InstrumentSpec(
+        "counter", "ingest batches applied to the catalog by the scheduler"
+    ),
+    "serve.query_latency_seconds": InstrumentSpec(
+        "histogram",
+        "cost-model seconds from query arrival to answer (wait + service)",
+        "seconds",
+    ),
+    "serve.query_staleness": InstrumentSpec(
+        "histogram",
+        "pending log elements of the target sample at answer time",
+        "elements",
+    ),
+    "serve.queue_depth": InstrumentSpec(
+        "gauge", "events waiting behind the device at the last admission check"
+    ),
+    "serve.catalog_samples": InstrumentSpec(
+        "gauge", "samples registered in the serving catalog"
+    ),
     # -- vectorised experiment engine ---------------------------------------
     "engine.candidates": InstrumentSpec(
         "counter", "candidates realised by the vectorised engine", "elements"

@@ -1,0 +1,62 @@
+"""Serving layer: answer approximate queries from maintained samples.
+
+The paper maintains disk-based samples *so that* queries can be answered
+from them (Sec. 1: the sample exists to serve "arbitrary subsequent
+queries"); this package adds the component the maintenance layer stops
+short of -- a **sample server** that multiplexes ingest batches, deferred
+refresh jobs and approximate queries over a catalog of named samples,
+under a **deterministic discrete-event scheduler** whose clock is
+cost-model seconds (Sec. 6.1 accounting), never wall clocks.  Runs are
+bit-reproducible from a seed: two simulations with the same seed produce
+byte-identical event traces, AccessStats and estimates.
+
+Pieces:
+
+* :mod:`repro.serve.catalog` -- named samples with manifests persisted
+  through superblock checkpoints (crash-recoverable catalog);
+* :mod:`repro.serve.scheduler` -- the seeded event loop and the pluggable
+  refresh-scheduling policies (FIFO, longest-log-first, deadline);
+* :mod:`repro.serve.session` -- the read path (freshness modes
+  ``serve_stale`` / ``bounded_staleness(k)`` / ``refresh_on_read``)
+  reusing :class:`repro.analysis.SampleQuery`;
+* :mod:`repro.serve.admission` -- queue-depth limits and backpressure;
+* :mod:`repro.serve.workload` -- seeded synthetic workloads;
+* :mod:`repro.serve.sim` -- one-call simulation harness
+  (``repro serve-sim`` CLI and the scheduling-policy experiment).
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionDecision
+from repro.serve.catalog import CatalogEntry, SampleCatalog
+from repro.serve.scheduler import (
+    DeadlineRefresh,
+    DeterministicScheduler,
+    FifoRefresh,
+    LongestLogFirst,
+    RefreshScheduling,
+    ServeReport,
+    make_scheduling_policy,
+)
+from repro.serve.session import Freshness, QuerySession, ServedAnswer
+from repro.serve.sim import SimConfig, run_simulation
+from repro.serve.workload import WorkloadEvent, synthetic_workload
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "CatalogEntry",
+    "SampleCatalog",
+    "DeterministicScheduler",
+    "RefreshScheduling",
+    "FifoRefresh",
+    "LongestLogFirst",
+    "DeadlineRefresh",
+    "make_scheduling_policy",
+    "ServeReport",
+    "Freshness",
+    "QuerySession",
+    "ServedAnswer",
+    "SimConfig",
+    "run_simulation",
+    "WorkloadEvent",
+    "synthetic_workload",
+]

@@ -1,0 +1,111 @@
+"""Admission control: backpressure for the sample server.
+
+The scheduler models one disk; every ingest batch, refresh job and query
+serialises on it.  Under load, queries queue up behind the device, and an
+unprotected server would let latency grow without bound.  The admission
+controller applies the standard remedies, in cost-model currency:
+
+* **queue-depth limit** -- reject when more than ``max_queue_depth``
+  events are already waiting behind the device;
+* **wait limit** -- reject when the query would wait more than
+  ``max_wait_seconds`` of cost-model time before the device frees up.
+
+Overload handling is either ``shed`` (reject outright -- the caller gets
+no answer, counted on ``serve.shed``) or ``defer`` (re-queue the query to
+run when the device frees up, counted on ``serve.deferred``; a query is
+deferred at most once and is shed if still overloaded at its second
+admission check, so deferral cannot loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.api import Instrumentation
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+_ACTIONS = ("shed", "defer")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    action: str  # "admit" | "defer" | "shed"
+    wait_seconds: float
+    queue_depth: int
+
+    @property
+    def admitted(self) -> bool:
+        return self.action == "admit"
+
+
+class AdmissionController:
+    """Decides admit / defer / shed for each arriving query.
+
+    With both limits ``None`` (the default) every query is admitted --
+    the controller then only maintains the ``serve.queue_depth`` gauge.
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: int | None = None,
+        max_wait_seconds: float | None = None,
+        overload_action: str = "shed",
+        instrumentation: "Instrumentation | None" = None,
+    ) -> None:
+        if max_queue_depth is not None and max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be non-negative")
+        if max_wait_seconds is not None and max_wait_seconds < 0:
+            raise ValueError("max_wait_seconds must be non-negative")
+        if overload_action not in _ACTIONS:
+            raise ValueError(
+                f"overload_action must be one of {_ACTIONS}, got {overload_action!r}"
+            )
+        self.max_queue_depth = max_queue_depth
+        self.max_wait_seconds = max_wait_seconds
+        self.overload_action = overload_action
+        self._instr = instrumentation
+        if instrumentation is not None:
+            self._c_shed = instrumentation.counter("serve.shed")
+            self._c_deferred = instrumentation.counter("serve.deferred")
+            self._g_depth = instrumentation.gauge("serve.queue_depth")
+
+    def admit(
+        self,
+        wait_seconds: float,
+        queue_depth: int,
+        already_deferred: bool = False,
+    ) -> AdmissionDecision:
+        """Check one query against the limits and record the outcome."""
+        obs = self._instr
+        if obs is not None:
+            self._g_depth.set(queue_depth)
+        overloaded = (
+            self.max_queue_depth is not None and queue_depth > self.max_queue_depth
+        ) or (
+            self.max_wait_seconds is not None and wait_seconds > self.max_wait_seconds
+        )
+        if not overloaded:
+            return AdmissionDecision("admit", wait_seconds, queue_depth)
+        if self.overload_action == "defer" and not already_deferred:
+            if obs is not None:
+                self._c_deferred.inc()
+                obs.emit(
+                    "serve.query_deferred",
+                    wait_seconds=wait_seconds,
+                    queue_depth=queue_depth,
+                )
+            return AdmissionDecision("defer", wait_seconds, queue_depth)
+        if obs is not None:
+            self._c_shed.inc()
+            obs.emit(
+                "serve.query_shed",
+                wait_seconds=wait_seconds,
+                queue_depth=queue_depth,
+                already_deferred=already_deferred,
+            )
+        return AdmissionDecision("shed", wait_seconds, queue_depth)

@@ -1,0 +1,268 @@
+"""The serving catalog: named samples with durable manifests.
+
+A sample server multiplexes many samples (the paper's fleet argument:
+one sample per table, group or materialized view).  The catalog owns
+that fleet: it creates each sample's on-disk structures (sample file,
+candidate log, superblock), registers the maintainer with a shared
+:class:`~repro.core.multi.MultiSampleManager`, and persists each
+sample's **manifest** -- its complete resumable maintenance state -- as a
+:class:`~repro.storage.superblock.MaintenanceCheckpoint` in a
+torn-write-tolerant :class:`~repro.storage.superblock.DualSlotCheckpointStore`.
+
+Recovery (:meth:`SampleCatalog.reopen`) rebuilds a maintainer from the
+newest valid checkpoint over the surviving devices; because checkpoints
+carry the full PRNG state, a recovered sample resumes maintenance
+*bit-identically* to a run that never crashed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.core.maintenance import SampleMaintainer
+from repro.core.multi import MultiSampleManager
+from repro.core.policies import ManualPolicy, RefreshPolicy
+from repro.core.refresh.array import ArrayRefresh
+from repro.core.refresh.naive import NaiveCandidateRefresh
+from repro.core.refresh.nomem import NomemRefresh
+from repro.core.refresh.stack import StackRefresh
+from repro.core.reservoir import build_reservoir
+from repro.rng.random_source import RandomSource
+from repro.storage.block_device import SimulatedBlockDevice
+from repro.storage.cost_model import CostModel
+from repro.storage.files import LogFile, SampleFile
+from repro.storage.records import IntRecordCodec, RecordCodec
+from repro.storage.superblock import DualSlotCheckpointStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.api import Instrumentation
+
+__all__ = ["CatalogEntry", "SampleCatalog", "ALGORITHMS"]
+
+#: Refresh-algorithm factories the catalog can instantiate by name.
+ALGORITHMS: dict[str, Callable[[], object]] = {
+    "array": ArrayRefresh,
+    "stack": StackRefresh,
+    "nomem": NomemRefresh,
+    "naive": NaiveCandidateRefresh,
+}
+
+
+@dataclass
+class CatalogEntry:
+    """One catalogued sample: its maintainer, devices and manifest store.
+
+    The devices are kept here (not just the files over them) because they
+    are what survives a simulated crash -- recovery builds fresh files
+    over the same devices.
+    """
+
+    name: str
+    algorithm: str
+    policy: RefreshPolicy
+    codec: RecordCodec
+    maintainer: SampleMaintainer
+    sample: SampleFile
+    log: LogFile
+    store: DualSlotCheckpointStore
+    sample_device: SimulatedBlockDevice
+    log_device: SimulatedBlockDevice
+    meta_device: SimulatedBlockDevice
+
+
+class SampleCatalog:
+    """Named, durable, queryable samples over one shared cost model."""
+
+    def __init__(
+        self,
+        cost_model: CostModel | None = None,
+        instrumentation: "Instrumentation | None" = None,
+    ) -> None:
+        self._cost_model = cost_model if cost_model is not None else CostModel()
+        self._instr = instrumentation
+        self._manager = MultiSampleManager(self._cost_model)
+        self._entries: dict[str, CatalogEntry] = {}
+        if instrumentation is not None:
+            self._g_samples = instrumentation.gauge("serve.catalog_samples")
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._cost_model
+
+    @property
+    def manager(self) -> MultiSampleManager:
+        return self._manager
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def names(self) -> list[str]:
+        return list(self._entries)
+
+    def get(self, name: str) -> SampleMaintainer:
+        return self._manager.get(name)
+
+    def entry(self, name: str) -> CatalogEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(f"no catalogued sample named {name!r}") from None
+
+    def pending(self) -> dict[str, int]:
+        """Per-sample staleness: pending log elements, in catalog order."""
+        return self._manager.pending_log_elements()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def create(
+        self,
+        name: str,
+        sample_size: int,
+        initial_dataset_size: int | None = None,
+        algorithm: str = "stack",
+        seed: int = 0,
+        policy: RefreshPolicy | None = None,
+        record_size: int = 32,
+        value_range: int = 1 << 30,
+    ) -> CatalogEntry:
+        """Create a sample: build the initial reservoir, persist a manifest.
+
+        The initial dataset (default ``4 * sample_size`` uniform integers
+        in ``[0, value_range)``) is drawn from the sample's own seeded
+        RNG, which then continues as the maintenance RNG -- so the whole
+        lifetime of the sample is one deterministic stream.
+        """
+        if name in self._entries:
+            raise ValueError(f"sample {name!r} already catalogued")
+        if initial_dataset_size is None:
+            initial_dataset_size = 4 * sample_size
+        if initial_dataset_size < sample_size:
+            raise ValueError(
+                f"initial dataset ({initial_dataset_size}) must be at least "
+                f"the sample size ({sample_size})"
+            )
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"algorithm must be one of {tuple(ALGORITHMS)}, got {algorithm!r}"
+            )
+        rng = RandomSource(seed)
+        codec = IntRecordCodec(record_size)
+        sample_device = SimulatedBlockDevice(
+            self._cost_model, name=f"{name}.sample", instrumentation=self._instr
+        )
+        log_device = SimulatedBlockDevice(
+            self._cost_model, name=f"{name}.log", instrumentation=self._instr
+        )
+        meta_device = SimulatedBlockDevice(
+            self._cost_model, name=f"{name}.meta", instrumentation=self._instr
+        )
+        initial = [rng.randrange(value_range) for _ in range(initial_dataset_size)]
+        values, seen = build_reservoir(initial, sample_size, rng)
+        sample = SampleFile(sample_device, codec, sample_size)
+        sample.initialize(values)
+        log = LogFile(log_device, codec)
+        refresh_policy = policy if policy is not None else ManualPolicy()
+        maintainer = SampleMaintainer(
+            sample,
+            rng,
+            strategy="candidate",
+            initial_dataset_size=seen,
+            log=log,
+            algorithm=ALGORITHMS[algorithm](),
+            policy=refresh_policy,
+            cost_model=self._cost_model,
+            instrumentation=self._instr,
+        )
+        store = DualSlotCheckpointStore(meta_device)
+        entry = CatalogEntry(
+            name=name,
+            algorithm=algorithm,
+            policy=refresh_policy,
+            codec=codec,
+            maintainer=maintainer,
+            sample=sample,
+            log=log,
+            store=store,
+            sample_device=sample_device,
+            log_device=log_device,
+            meta_device=meta_device,
+        )
+        self._manager.add(name, maintainer)
+        self._entries[name] = entry
+        # Persist the birth manifest immediately: a catalogued sample is
+        # recoverable from the moment create() returns.
+        store.save(maintainer.checkpoint_state())
+        if self._instr is not None:
+            self._g_samples.set(len(self._entries))
+            self._instr.emit(
+                "serve.sample_created",
+                sample=name,
+                algorithm=algorithm,
+                sample_size=sample_size,
+                dataset_size=seen,
+            )
+        return entry
+
+    def checkpoint(self, name: str) -> None:
+        """Persist the named sample's manifest (one random superblock write)."""
+        entry = self.entry(name)
+        entry.store.save(entry.maintainer.checkpoint_state())
+
+    def checkpoint_all(self) -> None:
+        for name in self._entries:
+            self.checkpoint(name)
+
+    def reopen(self, name: str) -> SampleMaintainer:
+        """Recover the named sample from its newest valid manifest.
+
+        Builds fresh file objects over the surviving devices, restores
+        the maintainer from the checkpoint (exact PRNG state included)
+        and swaps it into the fleet.  Raises
+        :class:`~repro.storage.superblock.CheckpointError` when neither
+        manifest slot validates.
+        """
+        entry = self.entry(name)
+        checkpoint = entry.store.load()
+        sample = SampleFile(entry.sample_device, entry.codec, checkpoint.sample_size)
+        log = LogFile(entry.log_device, entry.codec)
+        maintainer = SampleMaintainer.from_checkpoint(
+            checkpoint,
+            sample,
+            log=log,
+            algorithm=ALGORITHMS[entry.algorithm](),
+            policy=entry.policy,
+            cost_model=self._cost_model,
+            instrumentation=self._instr,
+        )
+        entry.maintainer = maintainer
+        entry.sample = sample
+        entry.log = log
+        self._manager.replace(name, maintainer)
+        if self._instr is not None:
+            self._instr.emit(
+                "serve.sample_reopened",
+                sample=name,
+                dataset_size=checkpoint.dataset_size,
+                pending_log_elements=checkpoint.log_count,
+            )
+        return maintainer
+
+    def reopen_all(self) -> None:
+        for name in self._entries:
+            self.reopen(name)
+
+    # -- data paths ----------------------------------------------------------
+
+    def ingest(self, name: str, batch: Sequence) -> int:
+        """Feed one ingest batch to the named sample (skip-based path)."""
+        return self.get(name).insert_many(batch)
+
+    def refresh(self, name: str):
+        """Run the named sample's deferred refresh; returns its result."""
+        return self.get(name).refresh()

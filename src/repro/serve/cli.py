@@ -1,0 +1,156 @@
+"""The ``repro serve-sim`` subcommand: run one serving simulation.
+
+Prints a latency/staleness report in cost-model seconds and can write
+the full canonical JSON report (including the per-event trace) to a
+file.  Same seed, same bytes -- the CI smoke step diffs two runs.
+
+Self-contained on the pattern of :mod:`repro.obs.cli`: the main CLI
+calls :func:`add_serve_sim_parser` at parser-build time and
+:func:`run_serve_sim_command` on dispatch; the serving stack is imported
+lazily so ``repro --help`` stays fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["add_serve_sim_parser", "run_serve_sim_command"]
+
+
+def add_serve_sim_parser(sub) -> argparse.ArgumentParser:
+    parser = sub.add_parser(
+        "serve-sim",
+        help="simulate the staleness-aware sample server (deterministic)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument("--samples", type=int, default=2, help="catalog size")
+    parser.add_argument(
+        "--sample-size", type=int, default=256, help="elements per sample (M)"
+    )
+    parser.add_argument(
+        "--events", type=int, default=200, help="workload events (ingest + query)"
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="stack",
+        choices=("array", "stack", "nomem", "naive"),
+        help="deferred refresh algorithm for every sample",
+    )
+    parser.add_argument(
+        "--policy",
+        default="longest-log:64",
+        help=(
+            "refresh scheduling policy: fifo[:threshold], "
+            "longest-log[:threshold], or deadline:bound"
+        ),
+    )
+    parser.add_argument(
+        "--ingest-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of workload events that are ingest batches",
+    )
+    parser.add_argument(
+        "--staleness-bound",
+        type=int,
+        default=256,
+        help="k used by the workload's bounded_staleness queries",
+    )
+    parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="admission control: shed/defer beyond this backlog",
+    )
+    parser.add_argument(
+        "--max-wait-seconds",
+        type=float,
+        default=None,
+        help="admission control: shed/defer beyond this cost-second wait",
+    )
+    parser.add_argument(
+        "--overload-action",
+        default="shed",
+        choices=("shed", "defer"),
+        help="what to do with queries that fail admission",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the full canonical JSON report (with trace) to PATH",
+    )
+    parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="omit the per-event trace from the JSON report",
+    )
+    return parser
+
+
+def run_serve_sim_command(args: argparse.Namespace) -> int:
+    from repro.obs.api import Instrumentation
+    from repro.serve.sim import SimConfig, run_simulation
+    from repro.storage.cost_model import CostModel
+
+    config = SimConfig(
+        seed=args.seed,
+        samples=args.samples,
+        sample_size=args.sample_size,
+        events=args.events,
+        algorithm=args.algorithm,
+        policy=args.policy,
+        ingest_fraction=args.ingest_fraction,
+        staleness_bound=args.staleness_bound,
+        max_queue_depth=args.max_queue_depth,
+        max_wait_seconds=args.max_wait_seconds,
+        overload_action=args.overload_action,
+    )
+    instrumentation = Instrumentation(cost_model=CostModel())
+    report = run_simulation(config, instrumentation=instrumentation)
+
+    print(f"serve-sim  seed={config.seed}  policy={report.policy}")
+    print(
+        f"  workload: {report.events} events "
+        f"({report.ingest_batches} ingest batches / "
+        f"{report.elements_ingested} elements, "
+        f"{report.queries_answered} queries answered)"
+    )
+    print(
+        f"  clock: {report.clock_seconds:.6f} cost-seconds  "
+        f"refresh jobs: {report.refresh_jobs}  "
+        f"forced refreshes: {report.forced_refreshes}"
+    )
+    print(
+        f"  admission: shed={report.queries_shed} "
+        f"deferred={report.queries_deferred}"
+    )
+    latency = report.latency
+    if latency.get("count"):
+        print(
+            "  query latency (cost-s): "
+            f"mean={latency['mean']:.6f}  p50={latency['p50']:.6f}  "
+            f"p95={latency['p95']:.6f}  max={latency['max']:.6f}"
+        )
+    staleness = report.staleness
+    if staleness.get("count"):
+        print(
+            "  answer staleness (elements): "
+            f"mean={staleness['mean']:.1f}  p95={staleness['p95']:.0f}  "
+            f"max={staleness['max']:.0f}"
+        )
+    online, offline = report.online, report.offline
+    print(
+        "  I/O online: "
+        f"seq r/w={online['seq_reads']}/{online['seq_writes']} "
+        f"rand r/w={online['random_reads']}/{online['random_writes']}  "
+        "offline: "
+        f"seq r/w={offline['seq_reads']}/{offline['seq_writes']} "
+        f"rand r/w={offline['random_reads']}/{offline['random_writes']}"
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json(include_trace=not args.no_trace))
+            handle.write("\n")
+        print(f"  report written to {args.json}")
+    return 0

@@ -1,0 +1,532 @@
+"""Deterministic discrete-event scheduler for the sample server.
+
+The server is modelled as **one disk shared by three job classes** --
+ingest batches, deferred refresh jobs and queries -- under a
+discrete-event simulation whose clock is **cost-model seconds**:
+
+* arrivals come from a seeded workload (see
+  :mod:`repro.serve.workload`), timestamped in cost seconds;
+* executing an operation *measures* its service time as the cost-model
+  delta it actually incurred (Sec. 6.1 weighting of the counted block
+  accesses) -- the simulation never guesses a duration and never reads a
+  wall clock;
+* the device is a single server: ``busy_until`` advances by each service
+  time, and an event arriving earlier waits (its latency = wait +
+  service).
+
+Everything is deterministic: the heap orders events by ``(time, seq)``
+with sequence numbers assigned once, ties included, so two runs from the
+same seed produce byte-identical traces, AccessStats and estimates.
+
+Refresh scheduling is pluggable.  After every completed event the
+scheduler asks its :class:`RefreshScheduling` policy for at most **one**
+sample to refresh (yielding the device back to arriving traffic between
+jobs -- this is what makes policy *order* observable):
+
+* :class:`FifoRefresh` -- refresh in the order samples crossed the
+  staleness threshold;
+* :class:`LongestLogFirst` -- greedy: always the most stale sample, which
+  also maximises per-job refresh efficiency (the paper's Fig. 7 economy
+  of scale: cost per logged element falls as the log grows);
+* :class:`DeadlineRefresh` -- bounded-staleness servicing: only samples
+  whose backlog exceeds the bound, most-overdue first.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Protocol, Sequence
+
+from repro.obs.api import maybe_span
+from repro.obs.catalogue import COUNT_BUCKETS, SECONDS_BUCKETS
+from repro.serve.admission import AdmissionController
+from repro.serve.session import QuerySession
+from repro.serve.workload import WorkloadEvent
+from repro.storage.cost_model import AccessStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.api import Instrumentation
+    from repro.serve.catalog import SampleCatalog
+
+__all__ = [
+    "RefreshScheduling",
+    "FifoRefresh",
+    "LongestLogFirst",
+    "DeadlineRefresh",
+    "make_scheduling_policy",
+    "ServeReport",
+    "DeterministicScheduler",
+]
+
+
+# -- refresh-scheduling policies ---------------------------------------------
+
+
+class RefreshScheduling(Protocol):
+    """Chooses which sample (if any) to refresh when the device is free."""
+
+    name: str
+
+    def select(self, pending: Mapping[str, int]) -> str | None:
+        """Pick one sample to refresh now, or None to stay idle.
+
+        ``pending`` maps sample name to pending log elements, in stable
+        catalog order; implementations must be deterministic functions of
+        it (plus their own state).
+        """
+        ...
+
+    def notify_refreshed(self, name: str) -> None:
+        """Told after *any* refresh of ``name`` (scheduled or read-forced)."""
+        ...
+
+
+class FifoRefresh:
+    """Refresh samples in the order they crossed the staleness threshold."""
+
+    name = "fifo"
+
+    def __init__(self, threshold: int = 1) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        self._threshold = threshold
+        self._queue: list[str] = []
+
+    def select(self, pending: Mapping[str, int]) -> str | None:
+        for name, count in pending.items():
+            if count >= self._threshold and name not in self._queue:
+                self._queue.append(name)
+        # Read-path refreshes may have serviced queued samples already.
+        while self._queue and pending.get(self._queue[0], 0) < self._threshold:
+            self._queue.pop(0)
+        return self._queue[0] if self._queue else None
+
+    def notify_refreshed(self, name: str) -> None:
+        if name in self._queue:
+            self._queue.remove(name)
+
+
+class LongestLogFirst:
+    """Greedy: always refresh the sample with the largest backlog."""
+
+    name = "longest-log"
+
+    def __init__(self, threshold: int = 1) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        self._threshold = threshold
+
+    def select(self, pending: Mapping[str, int]) -> str | None:
+        best: str | None = None
+        best_count = 0
+        for name, count in pending.items():
+            if count >= self._threshold and count > best_count:
+                best, best_count = name, count
+        return best
+
+    def notify_refreshed(self, name: str) -> None:
+        return None
+
+
+class DeadlineRefresh:
+    """Keep every sample's backlog at or below a staleness bound.
+
+    Idle while all samples are within the bound; otherwise refreshes the
+    most-overdue sample (largest excess over the bound) first.  Pairs
+    naturally with ``bounded_staleness`` reads at the same bound: the
+    background scheduler does the work, so reads rarely have to force it.
+    """
+
+    name = "deadline"
+
+    def __init__(self, bound: int) -> None:
+        if bound < 0:
+            raise ValueError("bound must be non-negative")
+        self._bound = bound
+
+    def select(self, pending: Mapping[str, int]) -> str | None:
+        best: str | None = None
+        best_excess = 0
+        for name, count in pending.items():
+            excess = count - self._bound
+            if excess > best_excess:
+                best, best_excess = name, excess
+        return best
+
+    def notify_refreshed(self, name: str) -> None:
+        return None
+
+
+_POLICIES = {
+    "fifo": (FifoRefresh, 1),
+    "longest-log": (LongestLogFirst, 1),
+    "deadline": (DeadlineRefresh, None),
+}
+
+
+def make_scheduling_policy(spec: str) -> RefreshScheduling:
+    """Build a policy from ``name`` or ``name:arg`` (e.g. ``deadline:256``).
+
+    The argument is the staleness threshold for ``fifo``/``longest-log``
+    (default 1) and the mandatory bound for ``deadline``.
+    """
+    name, _, arg = spec.partition(":")
+    try:
+        cls, default = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {name!r}; choose from {tuple(_POLICIES)}"
+        ) from None
+    if arg:
+        return cls(int(arg))
+    if default is None:
+        raise ValueError(f"policy {name!r} needs an argument, e.g. {name}:256")
+    return cls(default)
+
+
+# -- the report ---------------------------------------------------------------
+
+
+@dataclass
+class ServeReport:
+    """Aggregate outcome of one simulated serving run.
+
+    Everything is in cost-model currency; :meth:`to_json` is canonical
+    (sorted keys) so same-seed runs compare byte-for-byte.
+    """
+
+    policy: str
+    events: int
+    clock_seconds: float
+    queries_answered: int = 0
+    queries_shed: int = 0
+    queries_deferred: int = 0
+    ingest_batches: int = 0
+    elements_ingested: int = 0
+    refresh_jobs: int = 0
+    forced_refreshes: int = 0
+    latency: dict = field(default_factory=dict)
+    staleness: dict = field(default_factory=dict)
+    refreshes_by_sample: dict = field(default_factory=dict)
+    online: dict = field(default_factory=dict)
+    offline: dict = field(default_factory=dict)
+    trace: list = field(default_factory=list)
+
+    def to_dict(self, include_trace: bool = True) -> dict:
+        out = {
+            "policy": self.policy,
+            "events": self.events,
+            "clock_seconds": self.clock_seconds,
+            "queries_answered": self.queries_answered,
+            "queries_shed": self.queries_shed,
+            "queries_deferred": self.queries_deferred,
+            "ingest_batches": self.ingest_batches,
+            "elements_ingested": self.elements_ingested,
+            "refresh_jobs": self.refresh_jobs,
+            "forced_refreshes": self.forced_refreshes,
+            "latency": dict(self.latency),
+            "staleness": dict(self.staleness),
+            "refreshes_by_sample": dict(self.refreshes_by_sample),
+            "online": dict(self.online),
+            "offline": dict(self.offline),
+        }
+        if include_trace:
+            out["trace"] = list(self.trace)
+        return out
+
+    def to_json(self, include_trace: bool = True, indent: int = 2) -> str:
+        import json
+
+        return json.dumps(
+            self.to_dict(include_trace=include_trace), sort_keys=True, indent=indent
+        )
+
+
+def _stats_dict(stats: AccessStats) -> dict:
+    return {
+        "seq_reads": stats.seq_reads,
+        "seq_writes": stats.seq_writes,
+        "random_reads": stats.random_reads,
+        "random_writes": stats.random_writes,
+    }
+
+
+def _round(value: float) -> float:
+    # One canonical rounding for every float in the trace: floats this
+    # deep into sums of per-access times carry noise well below 1 ns of
+    # cost time, and a fixed quantum keeps reports stable to the byte.
+    return round(value, 9)
+
+
+def _distribution(values: list[float]) -> dict:
+    if not values:
+        return {"count": 0}
+    ordered = sorted(values)
+    n = len(ordered)
+    return {
+        "count": n,
+        "mean": _round(sum(ordered) / n),
+        "p50": _round(ordered[(50 * (n - 1)) // 100]),
+        "p95": _round(ordered[(95 * (n - 1)) // 100]),
+        "max": _round(ordered[-1]),
+    }
+
+
+# -- the scheduler ------------------------------------------------------------
+
+
+class DeterministicScheduler:
+    """Runs a workload against a catalog under one simulated disk.
+
+    Parameters
+    ----------
+    catalog:
+        The serving catalog; its shared cost model is the clock's
+        currency and the source of every service time.
+    policy:
+        The background :class:`RefreshScheduling` policy.
+    admission:
+        Optional :class:`~repro.serve.admission.AdmissionController`;
+        defaults to no limits (every query admitted).
+    session:
+        Optional :class:`~repro.serve.session.QuerySession`; defaults to
+        a session over ``catalog`` at 95% confidence.
+    """
+
+    def __init__(
+        self,
+        catalog: "SampleCatalog",
+        policy: RefreshScheduling,
+        admission: AdmissionController | None = None,
+        session: QuerySession | None = None,
+        instrumentation: "Instrumentation | None" = None,
+    ) -> None:
+        self._catalog = catalog
+        self._policy = policy
+        self._instr = instrumentation
+        self._admission = (
+            admission
+            if admission is not None
+            else AdmissionController(instrumentation=instrumentation)
+        )
+        self._session = (
+            session
+            if session is not None
+            else QuerySession(catalog, instrumentation=instrumentation)
+        )
+        if instrumentation is not None:
+            self._c_queries = instrumentation.counter("serve.queries")
+            self._c_refresh_jobs = instrumentation.counter("serve.refresh_jobs")
+            self._c_ingest = instrumentation.counter("serve.ingest_batches")
+            self._h_latency = instrumentation.histogram(
+                "serve.query_latency_seconds", buckets=SECONDS_BUCKETS
+            )
+            self._h_staleness = instrumentation.histogram(
+                "serve.query_staleness", buckets=COUNT_BUCKETS
+            )
+
+    def run(self, events: Sequence[WorkloadEvent]) -> ServeReport:
+        """Process a workload to completion; returns the canonical report."""
+        catalog = self._catalog
+        cost_model = catalog.cost_model
+        obs = self._instr
+        heap: list[tuple[float, int, WorkloadEvent]] = [
+            (event.time, event.seq, event) for event in events
+        ]
+        heapq.heapify(heap)
+        # Deferred re-queues get sequence numbers above every workload seq,
+        # so a deferral never jumps ahead of a same-instant arrival.
+        next_seq = max((event.seq for event in events), default=-1) + 1
+        deferred_once: set[int] = set()
+        busy_until = 0.0
+        trace: list[dict] = []
+        latencies: list[float] = []
+        stalenesses: list[float] = []
+        refreshes_by_sample: dict[str, int] = {name: 0 for name in catalog.names()}
+        online_mark = catalog.manager.online_stats()
+        offline_mark = catalog.manager.offline_stats()
+        report = ServeReport(policy=self._policy.name, events=len(events), clock_seconds=0.0)
+
+        while heap:
+            arrival, seq, event = heapq.heappop(heap)
+            start = arrival if arrival > busy_until else busy_until
+            wait = start - arrival
+            # Backlog proxy: arrivals that will queue up before the device
+            # frees again (deterministic -- derived only from the heap).
+            depth = sum(1 for entry in heap if entry[0] < busy_until)
+
+            if event.kind == "ingest":
+                mark = cost_model.checkpoint()
+                with maybe_span(
+                    obs, "serve.ingest", sample=event.sample, n=len(event.batch)
+                ):
+                    catalog.ingest(event.sample, event.batch)
+                service = cost_model.since(mark).cost_seconds(cost_model.disk)
+                busy_until = start + service
+                report.ingest_batches += 1
+                report.elements_ingested += len(event.batch)
+                if obs is not None:
+                    self._c_ingest.inc()
+                trace.append(
+                    {
+                        "kind": "ingest",
+                        "seq": seq,
+                        "sample": event.sample,
+                        "arrival": _round(arrival),
+                        "start": _round(start),
+                        "service": _round(service),
+                        "elements": len(event.batch),
+                    }
+                )
+            else:
+                decision = self._admission.admit(
+                    wait_seconds=wait,
+                    queue_depth=depth,
+                    already_deferred=event.seq in deferred_once,
+                )
+                if decision.action == "defer":
+                    deferred_once.add(event.seq)
+                    report.queries_deferred += 1
+                    heapq.heappush(heap, (busy_until, next_seq, event))
+                    next_seq += 1
+                    trace.append(
+                        {
+                            "kind": "defer",
+                            "seq": seq,
+                            "sample": event.sample,
+                            "arrival": _round(arrival),
+                            "retry_at": _round(busy_until),
+                            "queue_depth": depth,
+                        }
+                    )
+                    continue
+                if decision.action == "shed":
+                    report.queries_shed += 1
+                    with maybe_span(
+                        obs, "serve.shed", sample=event.sample, queue_depth=depth
+                    ):
+                        pass
+                    trace.append(
+                        {
+                            "kind": "shed",
+                            "seq": seq,
+                            "sample": event.sample,
+                            "arrival": _round(arrival),
+                            "wait": _round(wait),
+                            "queue_depth": depth,
+                        }
+                    )
+                    continue
+                mark = cost_model.checkpoint()
+                with maybe_span(
+                    obs,
+                    "serve.query",
+                    sample=event.sample,
+                    freshness=event.freshness.label,
+                    aggregate=event.aggregate,
+                ) as span:
+                    answer = self._session.execute(
+                        event.sample,
+                        event.freshness,
+                        aggregate=event.aggregate,
+                        threshold=event.threshold,
+                    )
+                    if span is not None:
+                        span.set("staleness", answer.staleness)
+                        span.set("refreshed", answer.refreshed)
+                service = cost_model.since(mark).cost_seconds(cost_model.disk)
+                busy_until = start + service
+                latency = (start + service) - arrival
+                report.queries_answered += 1
+                if answer.refreshed:
+                    report.forced_refreshes += 1
+                    refreshes_by_sample[event.sample] += 1
+                    self._policy.notify_refreshed(event.sample)
+                latencies.append(latency)
+                stalenesses.append(float(answer.staleness))
+                if obs is not None:
+                    self._c_queries.inc()
+                    self._h_latency.observe(latency)
+                    self._h_staleness.observe(float(answer.staleness))
+                trace.append(
+                    {
+                        "kind": "query",
+                        "seq": seq,
+                        "sample": event.sample,
+                        "freshness": event.freshness.label,
+                        "aggregate": event.aggregate,
+                        "arrival": _round(arrival),
+                        "start": _round(start),
+                        "service": _round(service),
+                        "latency": _round(latency),
+                        "staleness": answer.staleness,
+                        "refreshed": answer.refreshed,
+                        "estimate": _round(answer.estimate.value),
+                        "ci_low": _round(answer.estimate.low),
+                        "ci_high": _round(answer.estimate.high),
+                    }
+                )
+
+            busy_until = self._run_one_refresh_job(
+                busy_until, trace, refreshes_by_sample, report
+            )
+
+        # Drain: keep the staleness invariant when traffic stops.
+        while True:
+            jobs_before = report.refresh_jobs
+            busy_until = self._run_one_refresh_job(
+                busy_until, trace, refreshes_by_sample, report
+            )
+            if report.refresh_jobs == jobs_before:
+                break
+
+        report.clock_seconds = _round(busy_until)
+        report.latency = _distribution(latencies)
+        report.staleness = _distribution(stalenesses)
+        report.refreshes_by_sample = dict(refreshes_by_sample)
+        report.online = _stats_dict(
+            catalog.manager.online_stats() - online_mark
+        )
+        report.offline = _stats_dict(
+            catalog.manager.offline_stats() - offline_mark
+        )
+        report.trace = trace
+        return report
+
+    def _run_one_refresh_job(
+        self,
+        busy_until: float,
+        trace: list[dict],
+        refreshes_by_sample: dict[str, int],
+        report: ServeReport,
+    ) -> float:
+        """Ask the policy for one refresh job; returns the new busy_until."""
+        selected = self._policy.select(self._catalog.pending())
+        if selected is None:
+            return busy_until
+        cost_model = self._catalog.cost_model
+        obs = self._instr
+        mark = cost_model.checkpoint()
+        with maybe_span(obs, "serve.refresh_job", sample=selected) as span:
+            result = self._catalog.refresh(selected)
+            if span is not None and result is not None:
+                span.set("candidates", result.candidates)
+                span.set("displaced", result.displaced)
+        service = cost_model.since(mark).cost_seconds(cost_model.disk)
+        self._policy.notify_refreshed(selected)
+        report.refresh_jobs += 1
+        refreshes_by_sample[selected] += 1
+        if obs is not None:
+            self._c_refresh_jobs.inc()
+        trace.append(
+            {
+                "kind": "refresh",
+                "sample": selected,
+                "start": _round(busy_until),
+                "service": _round(service),
+                "candidates": result.candidates if result is not None else 0,
+                "displaced": result.displaced if result is not None else 0,
+            }
+        )
+        return busy_until + service

@@ -1,0 +1,188 @@
+"""The sample server's read path: freshness modes over `SampleQuery`.
+
+A deferred-maintenance sample is *stale by design* -- accepted candidates
+sit in the log until the next refresh folds them in (the paper's whole
+premise).  A server must therefore decide, per query, how much staleness
+the caller tolerates:
+
+* ``serve_stale`` -- answer from the sample as-is; zero extra I/O, the
+  answer may miss up to ``pending_log_elements`` recent insertions;
+* ``bounded_staleness(k)`` -- answer only when at most ``k`` accepted
+  candidates are pending; otherwise force a refresh first.  This is the
+  serving-layer analogue of the maintenance
+  :class:`~repro.core.policies.ThresholdPolicy`, enforced at read time so
+  the bound holds even when the background scheduler falls behind;
+* ``refresh_on_read`` -- always fold the log in first
+  (``bounded_staleness(0)``): strongest freshness, highest read latency.
+
+Every served answer records the staleness it was computed at, so the
+bounded-staleness guarantee is checkable after the fact (the property
+tests do exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.analysis.query import Estimate, SampleQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.api import Instrumentation
+    from repro.serve.catalog import SampleCatalog
+
+__all__ = ["Freshness", "ServedAnswer", "QuerySession"]
+
+_MODES = ("serve_stale", "bounded_staleness", "refresh_on_read")
+
+#: Aggregates the server accepts.  ``avg`` is deliberately absent: it
+#: requires >= 2 matching sampled rows and so can fail on selective
+#: predicates; the total-style estimators below are defined for any
+#: predicate over a full sample.
+AGGREGATES = ("count", "fraction", "sum")
+
+
+@dataclass(frozen=True)
+class Freshness:
+    """A per-request staleness tolerance.
+
+    Use the constructors -- :meth:`serve_stale`, :meth:`bounded`,
+    :meth:`refresh_on_read` -- rather than building instances by hand.
+    """
+
+    mode: str
+    bound: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(f"freshness mode must be one of {_MODES}, got {self.mode!r}")
+        if self.mode == "bounded_staleness":
+            if self.bound is None or self.bound < 0:
+                raise ValueError("bounded_staleness needs a bound >= 0")
+        elif self.bound is not None:
+            raise ValueError(f"mode {self.mode!r} takes no bound")
+
+    @classmethod
+    def serve_stale(cls) -> "Freshness":
+        return cls("serve_stale")
+
+    @classmethod
+    def bounded(cls, k: int) -> "Freshness":
+        return cls("bounded_staleness", k)
+
+    @classmethod
+    def refresh_on_read(cls) -> "Freshness":
+        return cls("refresh_on_read")
+
+    @classmethod
+    def parse(cls, spec: str) -> "Freshness":
+        """Parse ``serve_stale`` / ``bounded_staleness:K`` / ``refresh_on_read``."""
+        mode, _, arg = spec.partition(":")
+        if mode == "bounded_staleness":
+            if not arg:
+                raise ValueError("bounded_staleness needs a bound, e.g. bounded_staleness:64")
+            return cls.bounded(int(arg))
+        if arg:
+            raise ValueError(f"mode {mode!r} takes no argument")
+        return cls(mode)
+
+    def requires_refresh(self, pending_log_elements: int) -> bool:
+        """Must the sample be refreshed before answering at this staleness?"""
+        if self.mode == "serve_stale":
+            return False
+        if self.mode == "refresh_on_read":
+            return pending_log_elements > 0
+        return pending_log_elements > self.bound
+
+    @property
+    def label(self) -> str:
+        if self.mode == "bounded_staleness":
+            return f"bounded_staleness:{self.bound}"
+        return self.mode
+
+
+@dataclass(frozen=True)
+class ServedAnswer:
+    """One answered query, with the staleness it was answered at."""
+
+    sample: str
+    aggregate: str
+    estimate: Estimate
+    dataset_size: int
+    rows_scanned: int
+    #: pending log elements at answer time -- 0 after a forced refresh
+    staleness: int
+    #: True when the freshness mode forced a refresh before answering
+    refreshed: bool
+    freshness: Freshness
+
+
+class QuerySession:
+    """Executes approximate queries against a serving catalog.
+
+    The read path is: check the target sample's staleness against the
+    request's :class:`Freshness`; refresh first if the mode demands it;
+    sequentially scan the sample (the only query-time I/O, charged to the
+    shared cost model); evaluate the aggregate with
+    :class:`~repro.analysis.query.SampleQuery`.  Predicates are
+    ``value >= threshold`` range filters, matching the synthetic integer
+    workloads.
+    """
+
+    def __init__(
+        self,
+        catalog: "SampleCatalog",
+        confidence: float = 0.95,
+        instrumentation: "Instrumentation | None" = None,
+    ) -> None:
+        self._catalog = catalog
+        self._confidence = confidence
+        self._instr = instrumentation
+        if instrumentation is not None:
+            self._c_forced = instrumentation.counter("serve.forced_refreshes")
+
+    @property
+    def catalog(self) -> "SampleCatalog":
+        return self._catalog
+
+    def execute(
+        self,
+        name: str,
+        freshness: Freshness,
+        aggregate: str = "count",
+        threshold: int | None = None,
+    ) -> ServedAnswer:
+        """Answer one query at the requested freshness."""
+        if aggregate not in AGGREGATES:
+            raise ValueError(f"aggregate must be one of {AGGREGATES}, got {aggregate!r}")
+        maintainer = self._catalog.get(name)
+        pending = maintainer.pending_log_elements
+        refreshed = False
+        if freshness.requires_refresh(pending):
+            maintainer.refresh()
+            refreshed = True
+            pending = maintainer.pending_log_elements
+            if self._instr is not None:
+                self._c_forced.inc()
+        rows = list(maintainer.sample.scan())
+        query: SampleQuery = SampleQuery(
+            rows, maintainer.dataset_size, self._confidence
+        )
+        if threshold is not None:
+            query = query.where(lambda value: value >= threshold)
+        if aggregate == "count":
+            estimate = query.count()
+        elif aggregate == "fraction":
+            estimate = query.fraction()
+        else:
+            estimate = query.sum(float)
+        return ServedAnswer(
+            sample=name,
+            aggregate=aggregate,
+            estimate=estimate,
+            dataset_size=maintainer.dataset_size,
+            rows_scanned=len(rows),
+            staleness=pending,
+            refreshed=refreshed,
+            freshness=freshness,
+        )

@@ -1,0 +1,122 @@
+"""One-call serving simulation: catalog + workload + scheduler.
+
+``run_simulation(SimConfig(...))`` wires the whole serving stack
+together from a single seed: it creates a catalog of samples (each with
+its own decorrelated RNG stream), generates a synthetic workload, runs
+it under the deterministic scheduler and returns the canonical
+:class:`~repro.serve.scheduler.ServeReport`.  The ``repro serve-sim``
+CLI, the scheduling-policy comparison experiment and the determinism
+tests are all thin wrappers over this function -- same seed in, same
+bytes out, everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.rng.random_source import RandomSource
+from repro.serve.admission import AdmissionController
+from repro.serve.catalog import SampleCatalog
+from repro.serve.scheduler import (
+    DeterministicScheduler,
+    ServeReport,
+    make_scheduling_policy,
+)
+from repro.serve.session import QuerySession
+from repro.serve.workload import synthetic_workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.api import Instrumentation
+
+__all__ = ["SimConfig", "build_catalog", "run_simulation"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Everything a serving simulation depends on, in one value.
+
+    ``seed`` feeds two decorrelated streams: one per catalogued sample
+    (initial dataset + maintenance decisions) and one for the workload
+    (arrivals, routing, batches, query shapes).
+    """
+
+    seed: int = 0
+    samples: int = 2
+    sample_size: int = 256
+    initial_dataset_size: int | None = None
+    algorithm: str = "stack"
+    events: int = 200
+    mean_gap_seconds: float = 0.05
+    ingest_fraction: float = 0.5
+    batch_range: tuple[int, int] = (64, 512)
+    staleness_bound: int = 256
+    policy: str = "longest-log:64"
+    max_queue_depth: int | None = None
+    max_wait_seconds: float | None = None
+    overload_action: str = "shed"
+    confidence: float = 0.95
+
+    def sample_names(self) -> list[str]:
+        return [f"s{index:02d}" for index in range(self.samples)]
+
+
+def build_catalog(
+    config: SimConfig,
+    instrumentation: "Instrumentation | None" = None,
+) -> SampleCatalog:
+    """Create the simulation's catalog; one RNG stream per sample."""
+    cost_model = (
+        instrumentation.cost_model if instrumentation is not None else None
+    )
+    catalog = SampleCatalog(cost_model=cost_model, instrumentation=instrumentation)
+    root = RandomSource(config.seed)
+    for name in config.sample_names():
+        catalog.create(
+            name,
+            sample_size=config.sample_size,
+            initial_dataset_size=config.initial_dataset_size,
+            algorithm=config.algorithm,
+            seed=root.spawn(name).seed,
+        )
+    return catalog
+
+
+def run_simulation(
+    config: SimConfig,
+    instrumentation: "Instrumentation | None" = None,
+    catalog: SampleCatalog | None = None,
+) -> ServeReport:
+    """Run one serving simulation to completion.
+
+    Pass a pre-built ``catalog`` to reuse one (e.g. crash-recovery tests
+    that reopen it between runs); by default a fresh catalog is built
+    from the config's seed.
+    """
+    if catalog is None:
+        catalog = build_catalog(config, instrumentation)
+    workload_rng = RandomSource(config.seed).spawn("workload")
+    events = synthetic_workload(
+        workload_rng,
+        catalog.names(),
+        config.events,
+        mean_gap_seconds=config.mean_gap_seconds,
+        ingest_fraction=config.ingest_fraction,
+        batch_range=config.batch_range,
+        staleness_bound=config.staleness_bound,
+    )
+    scheduler = DeterministicScheduler(
+        catalog,
+        policy=make_scheduling_policy(config.policy),
+        admission=AdmissionController(
+            max_queue_depth=config.max_queue_depth,
+            max_wait_seconds=config.max_wait_seconds,
+            overload_action=config.overload_action,
+            instrumentation=instrumentation,
+        ),
+        session=QuerySession(
+            catalog, confidence=config.confidence, instrumentation=instrumentation
+        ),
+        instrumentation=instrumentation,
+    )
+    return scheduler.run(events)

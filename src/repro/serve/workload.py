@@ -1,0 +1,118 @@
+"""Seeded synthetic workloads for the sample server.
+
+A workload is a list of timestamped :class:`WorkloadEvent`\\ s -- ingest
+batches and queries -- with every random choice (arrival gaps, routing,
+batch sizes, element values, freshness modes, aggregates, predicate
+thresholds) drawn from one :class:`~repro.rng.random_source.RandomSource`.
+Same seed, same workload, byte for byte; the deterministic scheduler then
+turns it into a byte-identical trace.
+
+Timestamps are **cost-model seconds** -- the same currency the scheduler's
+clock runs in -- generated as a Poisson process (exponential interarrival
+gaps via inverse-CDF, so exactly one uniform draw per event).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.rng.random_source import RandomSource
+from repro.serve.session import AGGREGATES, Freshness
+
+__all__ = ["WorkloadEvent", "synthetic_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadEvent:
+    """One timestamped arrival: an ingest batch or a query."""
+
+    time: float  # arrival time, cost-model seconds
+    seq: int  # arrival order; ties on `time` break by seq
+    kind: str  # "ingest" | "query"
+    sample: str  # target sample name
+    batch: tuple = ()  # ingest payload (empty for queries)
+    freshness: Freshness | None = None  # query staleness tolerance
+    aggregate: str = "count"
+    threshold: int | None = None  # predicate: value >= threshold
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ingest", "query"):
+            raise ValueError(f"kind must be 'ingest' or 'query', got {self.kind!r}")
+        if self.kind == "query" and self.freshness is None:
+            raise ValueError("query events need a freshness mode")
+        if self.kind == "ingest" and not self.batch:
+            raise ValueError("ingest events need a non-empty batch")
+
+
+def synthetic_workload(
+    rng: RandomSource,
+    names: Sequence[str],
+    events: int,
+    mean_gap_seconds: float = 0.05,
+    ingest_fraction: float = 0.5,
+    batch_range: tuple[int, int] = (64, 512),
+    value_range: int = 1 << 30,
+    staleness_bound: int = 256,
+    freshness_weights: tuple[tuple[str, int], ...] = (
+        ("serve_stale", 2),
+        ("bounded_staleness", 1),
+        ("refresh_on_read", 1),
+    ),
+) -> list[WorkloadEvent]:
+    """Generate a mixed ingest/query arrival stream from one seeded RNG.
+
+    ``ingest_fraction`` splits the stream; ingest batches carry uniform
+    integers in ``[0, value_range)`` with sizes uniform in
+    ``batch_range``; queries rotate deterministically through the
+    supported aggregates, pick a freshness mode by integer weights
+    (``bounded_staleness`` uses ``staleness_bound``), and filter on
+    ``value >= threshold`` with the threshold uniform over the lower half
+    of the value range so predicates stay selective but never empty.
+    """
+    if not names:
+        raise ValueError("need at least one sample name")
+    if events < 0:
+        raise ValueError("events must be non-negative")
+    low, high = batch_range
+    if not 1 <= low <= high:
+        raise ValueError(f"bad batch_range {batch_range}")
+    modes: list[str] = []
+    for mode, weight in freshness_weights:
+        modes.extend([mode] * weight)
+    if not modes:
+        raise ValueError("freshness_weights must have positive total weight")
+    out: list[WorkloadEvent] = []
+    clock = 0.0
+    for seq in range(events):
+        # Inverse-CDF exponential gap; 1 - random() is in (0, 1], so the
+        # log argument never hits zero.
+        clock += -mean_gap_seconds * math.log(1.0 - rng.random())
+        name = names[rng.randrange(len(names))]
+        if rng.random() < ingest_fraction:
+            size = low + rng.randrange(high - low + 1)
+            batch = tuple(rng.randrange(value_range) for _ in range(size))
+            out.append(
+                WorkloadEvent(time=clock, seq=seq, kind="ingest", sample=name, batch=batch)
+            )
+        else:
+            mode = modes[rng.randrange(len(modes))]
+            if mode == "bounded_staleness":
+                freshness = Freshness.bounded(staleness_bound)
+            else:
+                freshness = Freshness(mode)
+            aggregate = AGGREGATES[rng.randrange(len(AGGREGATES))]
+            threshold = rng.randrange(value_range // 2)
+            out.append(
+                WorkloadEvent(
+                    time=clock,
+                    seq=seq,
+                    kind="query",
+                    sample=name,
+                    freshness=freshness,
+                    aggregate=aggregate,
+                    threshold=threshold,
+                )
+            )
+    return out

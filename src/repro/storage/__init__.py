@@ -33,6 +33,7 @@ from repro.storage.records import BytesRecordCodec, IntRecordCodec, RecordCodec
 from repro.storage.superblock import (
     CheckpointError,
     CheckpointStore,
+    DualSlotCheckpointStore,
     MaintenanceCheckpoint,
 )
 
@@ -54,6 +55,7 @@ __all__ = [
     "RecordCodec",
     "MaintenanceCheckpoint",
     "CheckpointStore",
+    "DualSlotCheckpointStore",
     "CheckpointError",
     "FaultInjectionDevice",
     "InjectedCrash",

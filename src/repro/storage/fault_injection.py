@@ -41,12 +41,14 @@ class FaultInjectionDevice:
         inner,
         writes_until_crash: int | None = None,
         instrumentation: "Instrumentation | None" = None,
+        torn_writes: bool = False,
     ) -> None:
         if writes_until_crash is not None and writes_until_crash < 0:
             raise ValueError("writes_until_crash must be non-negative")
         self._inner = inner
         self._budget = writes_until_crash
         self._instr = instrumentation
+        self._torn = torn_writes
         self._crash_reported = False
         self.writes_survived = 0
 
@@ -63,11 +65,13 @@ class FaultInjectionDevice:
         """The undecorated device -- the 'disk' that survives the crash."""
         return self._inner
 
-    def arm(self, writes_until_crash: int) -> None:
-        """(Re-)arm the crash trigger."""
+    def arm(self, writes_until_crash: int, torn_writes: bool | None = None) -> None:
+        """(Re-)arm the crash trigger; optionally toggle torn-write mode."""
         if writes_until_crash < 0:
             raise ValueError("writes_until_crash must be non-negative")
         self._budget = writes_until_crash
+        if torn_writes is not None:
+            self._torn = torn_writes
         self._crash_reported = False
 
     def disarm(self) -> None:
@@ -81,6 +85,14 @@ class FaultInjectionDevice:
         if self._budget is not None:
             if self._budget == 0:
                 self._report_crash(index)
+                if self._torn:
+                    # A torn write: power fails mid-block, leaving the first
+                    # half of the new data spliced onto the old tail.  The
+                    # landed fragment is not a charged, completed access --
+                    # CRC-protected readers (the superblock) must detect it.
+                    old = self._inner.peek_block(index)
+                    half = self._inner.block_size // 2
+                    self._inner.poke_block(index, data[:half] + old[half:])
                 raise InjectedCrash(
                     f"simulated crash after {self.writes_survived} writes"
                 )

@@ -34,7 +34,12 @@ from dataclasses import dataclass
 from repro.rng.mt19937 import MTState
 from repro.rng.random_source import RandomSource
 
-__all__ = ["MaintenanceCheckpoint", "CheckpointStore", "CheckpointError"]
+__all__ = [
+    "MaintenanceCheckpoint",
+    "CheckpointStore",
+    "DualSlotCheckpointStore",
+    "CheckpointError",
+]
 
 _MAGIC = b"RSMP"
 _VERSION = 2
@@ -214,3 +219,99 @@ class CheckpointStore:
         except CheckpointError:
             return False
         return True
+
+
+class DualSlotCheckpointStore:
+    """Torn-write-tolerant checkpoint persistence over two alternating slots.
+
+    A single-slot :class:`CheckpointStore` has a crash window: a power
+    failure *during* the superblock write leaves a torn block whose CRC no
+    longer validates, losing both the new checkpoint and the one it was
+    overwriting.  The classic fix (every journalled file system uses it)
+    is two slots written alternately: a save always targets the slot *not*
+    holding the newest valid checkpoint, so the previous checkpoint
+    survives any torn write untouched.
+
+    Recovery (:meth:`load`) validates both slots and returns the one with
+    the most progress -- checkpoints carry monotone ``inserts``/``refreshes``
+    counters, so ``(inserts, refreshes)`` orders generations without a
+    separate sequence number.  Only when *both* slots are invalid (fresh
+    device, or two consecutive torn writes) does it raise
+    :class:`CheckpointError`.
+
+    Costs mirror the single-slot store: one random write per save, and up
+    to two random reads per load.
+    """
+
+    def __init__(self, device, block_indexes: tuple[int, int] = (0, 1)) -> None:
+        first, second = block_indexes
+        if first < 0 or second < 0:
+            raise ValueError("block indexes must be non-negative")
+        if first == second:
+            raise ValueError("the two slots must be distinct blocks")
+        self._device = device
+        self._slots = (first, second)
+
+    def _peek_slot(self, index: int) -> "MaintenanceCheckpoint | None":
+        """Validate one slot without charging I/O (recovery probes charge)."""
+        try:
+            return MaintenanceCheckpoint.from_bytes(self._device.peek_block(index))
+        except CheckpointError:
+            return None
+
+    def _newest(self) -> "tuple[int, MaintenanceCheckpoint] | None":
+        """(slot block index, checkpoint) of the newest valid slot, if any."""
+        best: tuple[int, MaintenanceCheckpoint] | None = None
+        for slot in self._slots:
+            checkpoint = self._peek_slot(slot)
+            if checkpoint is None:
+                continue
+            if best is None or (checkpoint.inserts, checkpoint.refreshes) > (
+                best[1].inserts, best[1].refreshes
+            ):
+                best = (slot, checkpoint)
+        return best
+
+    def save(self, checkpoint: MaintenanceCheckpoint) -> None:
+        """Write into the slot NOT holding the newest valid checkpoint.
+
+        One random block write; the surviving slot is never touched, so a
+        crash mid-write degrades to "the previous checkpoint", never to
+        "no checkpoint".
+        """
+        newest = self._newest()
+        target = (
+            self._slots[0]
+            if newest is None or newest[0] != self._slots[0]
+            else self._slots[1]
+        )
+        data = checkpoint.to_bytes(self._device.block_size)
+        self._device.write_block(target, data, sequential=False)
+
+    def load(self) -> MaintenanceCheckpoint:
+        """Read both slots, return the newest valid checkpoint.
+
+        Charges one random read per probed slot (recovery-path I/O).
+        Raises :class:`CheckpointError` when neither slot validates.
+        """
+        best: tuple[int, MaintenanceCheckpoint] | None = None
+        for slot in self._slots:
+            data = self._device.read_block(slot, sequential=False)
+            try:
+                checkpoint = MaintenanceCheckpoint.from_bytes(data)
+            except CheckpointError:
+                continue
+            if best is None or (checkpoint.inserts, checkpoint.refreshes) > (
+                best[1].inserts, best[1].refreshes
+            ):
+                best = (slot, checkpoint)
+        if best is None:
+            raise CheckpointError(
+                "no valid checkpoint in either superblock slot "
+                f"{self._slots} (fresh device or both slots torn)"
+            )
+        return best[1]
+
+    def exists(self) -> bool:
+        """True when at least one slot holds a valid checkpoint."""
+        return self._newest() is not None

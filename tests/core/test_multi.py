@@ -117,3 +117,52 @@ class TestFleetRefresh:
         total = manager.cost_model.stats.total_accesses
         initial_loads = 2  # one initialize() block write per sample
         assert total == online.total_accesses + offline.total_accesses + initial_loads
+
+
+class TestBatchDelegationEquivalence:
+    """insert_many delegates per maintainer to the skip-based batch path;
+    the result must be bit-identical to the old element-major scalar loop
+    (each maintainer owns its RNG, so processing order across maintainers
+    is unobservable)."""
+
+    def _state(self, manager):
+        out = {}
+        for name in manager.names():
+            maintainer = manager.get(name)
+            out[name] = (
+                maintainer.sample.peek_all(),
+                maintainer._candidate_logger.log.peek_all(),
+                maintainer.pending_log_elements,
+                maintainer.dataset_size,
+                maintainer.stats.inserts,
+                maintainer.stats.candidates_logged,
+                maintainer._rng.snapshot(),
+            )
+        return out
+
+    def test_bit_identical_to_scalar_loop(self):
+        batch_fleet = make_fleet(NomemRefresh, [50, 80, 120], seed=9)
+        scalar_fleet = make_fleet(NomemRefresh, [50, 80, 120], seed=9)
+        elements = list(range(5000, 7000))
+        batch_fleet.insert_many(elements)
+        for element in elements:  # the pre-delegation broadcast loop
+            scalar_fleet.insert(element)
+        assert self._state(batch_fleet) == self._state(scalar_fleet)
+        assert (
+            batch_fleet.online_stats().total_accesses
+            == scalar_fleet.online_stats().total_accesses
+        )
+
+    def test_routed_batch_matches_scalar(self):
+        batch_fleet = make_fleet(ArrayRefresh, [60, 60], seed=4)
+        scalar_fleet = make_fleet(ArrayRefresh, [60, 60], seed=4)
+        batch_fleet.insert_many(range(2000, 2500), only="s1")
+        for element in range(2000, 2500):
+            scalar_fleet.insert(element, only="s1")
+        assert self._state(batch_fleet) == self._state(scalar_fleet)
+
+    def test_one_shot_iterable_is_materialised(self):
+        fleet = make_fleet(NomemRefresh, [50, 50], seed=2)
+        fleet.insert_many(iter(range(1000, 1400)))
+        for name in fleet.names():
+            assert fleet.get(name).stats.inserts == 400

@@ -150,3 +150,17 @@ class TestCliGate:
         batch = throughputs["test_insert_batch_throughput"]
         scalar = throughputs["test_insert_scalar_throughput"]
         assert batch >= 5 * scalar
+
+    def test_committed_baseline_fleet_margin(self):
+        """Fleet ingest through MultiSampleManager keeps the same >=5x
+        batch-over-scalar margin: per-maintainer delegation to the
+        skip-based path beats the element-major broadcast loop."""
+        from pathlib import Path
+
+        from repro.devtools.bench_compare import DEFAULT_BASELINE
+
+        baseline = Path(__file__).resolve().parents[2] / DEFAULT_BASELINE
+        throughputs = load_throughputs(baseline)
+        batch = throughputs["test_fleet_ingest_batch_throughput"]
+        scalar = throughputs["test_fleet_ingest_scalar_throughput"]
+        assert batch >= 5 * scalar

@@ -309,6 +309,56 @@ def test_obs001_without_catalogue_checks_only_name_shape(tmp_path):
     assert [(f.rule_id, f.line) for f in findings] == [("OBS001", 3)]
 
 
+SERVE_CATALOGUE = """\
+    INSTRUMENTS = {
+        "serve.queries": ("counter", "queries"),
+        "serve.query_latency_seconds": ("histogram", "seconds"),
+        "serve.queue_depth": ("gauge", "queries"),
+    }
+"""
+
+
+def test_obs001_covers_serve_instruments(tmp_path):
+    """Emit sites in a serve/ package obey the same catalogue discipline."""
+    make_tree(tmp_path, {
+        "obs/catalogue.py": SERVE_CATALOGUE,
+        "serve/scheduler.py": """\
+            def wire(instr):
+                instr.counter("serve.queries").inc()
+                instr.histogram("serve.query_latency_seconds").observe(0.2)
+                instr.gauge("serve.queue_depth").set(3)
+        """,
+    })
+    assert lint(tmp_path, rules=["OBS001"]) == []
+
+
+def test_obs001_flags_undeclared_serve_instrument(tmp_path):
+    make_tree(tmp_path, {
+        "obs/catalogue.py": SERVE_CATALOGUE,
+        "serve/admission.py": """\
+            def wire(instr):
+                instr.counter("serve.rejections").inc()
+        """,
+    })
+    findings = lint(tmp_path, rules=["OBS001"])
+    assert [(f.rule_id, f.line) for f in findings] == [("OBS001", 2)]
+    assert "serve.rejections" in findings[0].message
+
+
+def test_obs001_real_serve_package_is_clean():
+    """Every serve.* instrument the real package emits is declared in the
+    real catalogue -- the fixture tests above are not a toy guarantee."""
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    findings = [
+        f
+        for f in lint(src, rules=["OBS001"])
+        if "serve" in str(getattr(f, "path", ""))
+    ]
+    assert findings == []
+
+
 def test_obs001_ignores_the_catalogue_module_itself(tmp_path):
     make_tree(tmp_path, {
         # A hypothetical helper inside the catalogue module would not be

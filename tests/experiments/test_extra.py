@@ -1,8 +1,13 @@
-"""Extension experiments: accuracy stability and recency bias."""
+"""Extension experiments: accuracy stability, recency bias, serving."""
 
 import pytest
 
-from repro.experiments.extra import EXTRAS, extra_accuracy, extra_bias
+from repro.experiments.extra import (
+    EXTRAS,
+    extra_accuracy,
+    extra_bias,
+    extra_serve_policies,
+)
 from repro.experiments.figures import all_experiments, get_figure
 
 
@@ -56,3 +61,33 @@ class TestRecencyBias:
         measured = result.series["measured"]
         assert measured == sorted(measured)
         assert measured[-1] > 5 * measured[0]
+
+
+class TestServePolicies:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return extra_serve_policies(scale="smoke", seed=3)
+
+    def test_sweeps_all_policies(self, result):
+        assert set(result.series) == {
+            "background (fifo)",
+            "background (longest-log)",
+            "background (deadline)",
+            "forced on read path (fifo)",
+        }
+        for counts in result.series.values():
+            assert len(counts) == len(result.x)
+            assert all(value >= 0 for value in counts)
+
+    def test_lax_thresholds_shift_work_to_read_path(self, result):
+        background = result.series["background (fifo)"]
+        forced = result.series["forced on read path (fifo)"]
+        assert background[0] > background[-1]
+        assert forced[-1] >= forced[0]
+
+    def test_deterministic(self, result):
+        again = extra_serve_policies(scale="smoke", seed=3)
+        assert again.series == result.series
+
+    def test_registered(self):
+        assert get_figure("extra-serve-policies") is extra_serve_policies

@@ -1,0 +1,84 @@
+"""Property-based tests: the bounded-staleness serving guarantee.
+
+The serving layer's contract (docs/serving.md): a query issued with
+``bounded_staleness(k)`` is never answered from a sample whose candidate
+log holds more than ``k`` pending elements -- the read path forces a
+refresh first.  The guarantee must hold for every refresh algorithm and
+every background scheduling policy, because the background scheduler only
+*reduces* backlogs; the read-path check is what enforces the bound.
+
+Each example runs a full end-to-end simulation and checks the invariant
+against the trace: every answered query records the staleness it was
+served at, and for bounded queries that number can never exceed the bound.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.session import Freshness
+from repro.serve.sim import SimConfig, run_simulation
+
+ALGORITHMS = ("array", "stack", "nomem")
+POLICIES = ("fifo:32", "longest-log:32", "deadline:96", "fifo:1000000")
+
+
+@given(
+    seed=st.integers(0, 2**32),
+    algorithm=st.sampled_from(ALGORITHMS),
+    policy=st.sampled_from(POLICIES),
+    bound=st.integers(min_value=0, max_value=512),
+)
+@settings(max_examples=40, deadline=None)
+def test_bounded_queries_never_exceed_bound(seed, algorithm, policy, bound):
+    """No bounded_staleness(k) query is answered with staleness > k, no
+    matter which algorithm maintains the sample or which policy runs
+    background refreshes (including one that effectively never runs)."""
+    report = run_simulation(
+        SimConfig(
+            seed=seed,
+            events=120,
+            samples=2,
+            sample_size=64,
+            algorithm=algorithm,
+            policy=policy,
+            staleness_bound=bound,
+        )
+    )
+    bounded = [
+        entry
+        for entry in report.trace
+        if entry["kind"] == "query"
+        and entry["freshness"] == f"bounded_staleness:{bound}"
+    ]
+    for entry in bounded:
+        assert entry["staleness"] <= bound
+    # The workload mixes modes with fixed weights, so bounded queries
+    # are present in every non-degenerate run.
+    if report.queries_answered >= 20:
+        assert bounded
+
+
+@given(
+    seed=st.integers(0, 2**32),
+    pending=st.integers(min_value=0, max_value=300),
+    bound=st.integers(min_value=0, max_value=300),
+)
+@settings(max_examples=60, deadline=None)
+def test_read_path_enforces_bound_directly(seed, pending, bound):
+    """Unit-level form of the same property: a single bounded query
+    against a catalog with a known backlog."""
+    from repro.serve.catalog import SampleCatalog
+    from repro.serve.session import QuerySession
+
+    catalog = SampleCatalog()
+    catalog.create("t", sample_size=32, seed=seed)
+    maintainer = catalog.get("t")
+    value = maintainer.dataset_size
+    while maintainer.pending_log_elements < pending:
+        maintainer.insert(value)
+        value += 1
+    backlog = maintainer.pending_log_elements
+    answer = QuerySession(catalog).execute("t", Freshness.bounded(bound))
+    assert answer.staleness <= bound
+    assert answer.refreshed == (backlog > bound)
+    # And the answer reports the staleness it was actually served at.
+    assert answer.staleness == maintainer.pending_log_elements

@@ -1,0 +1,136 @@
+"""The serving catalog: creation, manifests, crash recovery."""
+
+import pytest
+
+from repro.storage.fault_injection import FaultInjectionDevice, InjectedCrash
+from repro.storage.superblock import CheckpointError, DualSlotCheckpointStore
+from repro.serve.catalog import SampleCatalog
+
+
+def make_catalog(samples=2, sample_size=64, algorithm="stack"):
+    catalog = SampleCatalog()
+    for index in range(samples):
+        catalog.create(
+            f"s{index}", sample_size=sample_size, algorithm=algorithm, seed=index
+        )
+    return catalog
+
+
+class TestLifecycle:
+    def test_create_registers_and_fills(self):
+        catalog = make_catalog(samples=3)
+        assert len(catalog) == 3
+        assert catalog.names() == ["s0", "s1", "s2"]
+        assert "s1" in catalog
+        maintainer = catalog.get("s0")
+        assert maintainer.sample.size == 64
+        assert maintainer.dataset_size == 4 * 64
+        assert catalog.pending() == {"s0": 0, "s1": 0, "s2": 0}
+
+    def test_duplicate_name_rejected(self):
+        catalog = make_catalog(samples=1)
+        with pytest.raises(ValueError):
+            catalog.create("s0", sample_size=64)
+
+    def test_unknown_names_rejected(self):
+        catalog = make_catalog(samples=1)
+        with pytest.raises(KeyError):
+            catalog.get("nope")
+        with pytest.raises(KeyError):
+            catalog.entry("nope")
+
+    def test_bad_parameters_rejected(self):
+        catalog = SampleCatalog()
+        with pytest.raises(ValueError):
+            catalog.create("x", sample_size=64, initial_dataset_size=10)
+        with pytest.raises(ValueError):
+            catalog.create("y", sample_size=64, algorithm="mystery")
+
+    def test_ingest_and_refresh_route_by_name(self):
+        catalog = make_catalog(samples=2)
+        base = catalog.get("s0").dataset_size
+        catalog.ingest("s0", range(base, base + 500))
+        assert catalog.pending()["s0"] > 0
+        assert catalog.pending()["s1"] == 0
+        result = catalog.refresh("s0")
+        assert result is not None
+        assert catalog.pending()["s0"] == 0
+
+
+class TestManifestRecovery:
+    def test_recoverable_from_birth(self):
+        """create() persists a manifest before returning."""
+        catalog = make_catalog(samples=1)
+        maintainer = catalog.reopen("s0")
+        assert maintainer.dataset_size == 4 * 64
+        assert maintainer.pending_log_elements == 0
+
+    def test_reopen_resumes_bit_identically(self):
+        """A recovered catalog continues exactly like an uncrashed one."""
+        mirror = make_catalog(samples=1)
+        crashed = make_catalog(samples=1)
+        base = mirror.get("s0").dataset_size
+        prefix = list(range(base, base + 300))
+        suffix = list(range(base + 300, base + 700))
+        mirror.ingest("s0", prefix)
+        crashed.ingest("s0", prefix)
+        crashed.checkpoint("s0")
+        # The crash: everything in memory is lost; reopen from disk.
+        recovered = crashed.reopen("s0")
+        assert recovered is not crashed.entry("s0").store  # fresh object
+        mirror.ingest("s0", suffix)
+        crashed.ingest("s0", suffix)
+        assert (
+            crashed.get("s0").sample.peek_all() == mirror.get("s0").sample.peek_all()
+        )
+        assert (
+            crashed.get("s0").pending_log_elements
+            == mirror.get("s0").pending_log_elements
+        )
+        assert crashed.get("s0").dataset_size == mirror.get("s0").dataset_size
+        # And the post-recovery refresh folds the same candidates.
+        mirror.refresh("s0")
+        crashed.refresh("s0")
+        assert (
+            crashed.get("s0").sample.peek_all() == mirror.get("s0").sample.peek_all()
+        )
+
+    def test_reopen_all(self):
+        catalog = make_catalog(samples=3)
+        for name in catalog.names():
+            base = catalog.get(name).dataset_size
+            catalog.ingest(name, range(base, base + 200))
+        catalog.checkpoint_all()
+        pending_before = catalog.pending()
+        catalog.reopen_all()
+        assert catalog.pending() == pending_before
+
+    def test_torn_manifest_write_falls_back(self):
+        """A crash mid-checkpoint degrades to the previous manifest."""
+        catalog = make_catalog(samples=1)
+        entry = catalog.entry("s0")
+        base = catalog.get("s0").dataset_size
+        catalog.ingest("s0", range(base, base + 200))
+        catalog.checkpoint("s0")
+        good_pending = catalog.get("s0").pending_log_elements
+        # Swap the manifest store for one that tears the next write.
+        faulty = FaultInjectionDevice(entry.meta_device, torn_writes=True)
+        entry.store = DualSlotCheckpointStore(faulty)
+        catalog.ingest("s0", range(base + 200, base + 400))
+        faulty.arm(writes_until_crash=0)
+        with pytest.raises(InjectedCrash):
+            catalog.checkpoint("s0")
+        faulty.disarm()
+        recovered = catalog.reopen("s0")
+        # The torn write lost the newer manifest, never the older one.
+        assert recovered.pending_log_elements == good_pending
+
+    def test_unrecoverable_when_no_manifest_valid(self):
+        catalog = make_catalog(samples=1)
+        entry = catalog.entry("s0")
+        for slot in (0, 1):
+            block = bytearray(entry.meta_device.peek_block(slot))
+            block[50] ^= 0xFF
+            entry.meta_device.poke_block(slot, bytes(block))
+        with pytest.raises(CheckpointError):
+            catalog.reopen("s0")

@@ -1,0 +1,121 @@
+"""Read-path freshness semantics: serve_stale / bounded / refresh_on_read."""
+
+import pytest
+
+from repro.serve.catalog import SampleCatalog
+from repro.serve.session import AGGREGATES, Freshness, QuerySession
+
+
+def make_catalog(pending: int = 0, sample_size: int = 64, seed: int = 3):
+    catalog = SampleCatalog()
+    catalog.create("t", sample_size=sample_size, seed=seed)
+    if pending:
+        base = catalog.get("t").dataset_size
+        # Feed until the log holds exactly `pending` accepted candidates.
+        value = base
+        while catalog.get("t").pending_log_elements < pending:
+            catalog.get("t").insert(value)
+            value += 1
+    return catalog
+
+
+class TestFreshness:
+    def test_constructors_and_labels(self):
+        assert Freshness.serve_stale().label == "serve_stale"
+        assert Freshness.bounded(5).label == "bounded_staleness:5"
+        assert Freshness.refresh_on_read().label == "refresh_on_read"
+
+    def test_parse_roundtrip(self):
+        for spec in ("serve_stale", "bounded_staleness:64", "refresh_on_read"):
+            assert Freshness.parse(spec).label == spec
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Freshness("nope")
+        with pytest.raises(ValueError):
+            Freshness("bounded_staleness")  # missing bound
+        with pytest.raises(ValueError):
+            Freshness("serve_stale", 3)  # spurious bound
+        with pytest.raises(ValueError):
+            Freshness.parse("bounded_staleness")
+        with pytest.raises(ValueError):
+            Freshness.parse("serve_stale:1")
+
+    def test_requires_refresh_semantics(self):
+        assert not Freshness.serve_stale().requires_refresh(10_000)
+        assert not Freshness.refresh_on_read().requires_refresh(0)
+        assert Freshness.refresh_on_read().requires_refresh(1)
+        bounded = Freshness.bounded(5)
+        assert not bounded.requires_refresh(5)
+        assert bounded.requires_refresh(6)
+
+
+class TestQuerySession:
+    def test_serve_stale_never_refreshes(self):
+        catalog = make_catalog(pending=10)
+        session = QuerySession(catalog)
+        answer = session.execute("t", Freshness.serve_stale())
+        assert not answer.refreshed
+        assert answer.staleness == 10
+        assert catalog.get("t").pending_log_elements == 10
+
+    def test_refresh_on_read_always_fresh(self):
+        catalog = make_catalog(pending=10)
+        session = QuerySession(catalog)
+        answer = session.execute("t", Freshness.refresh_on_read())
+        assert answer.refreshed
+        assert answer.staleness == 0
+        assert catalog.get("t").pending_log_elements == 0
+
+    def test_bounded_refreshes_only_above_k(self):
+        catalog = make_catalog(pending=10)
+        session = QuerySession(catalog)
+        tolerant = session.execute("t", Freshness.bounded(10))
+        assert not tolerant.refreshed and tolerant.staleness == 10
+        strict = session.execute("t", Freshness.bounded(9))
+        assert strict.refreshed and strict.staleness == 0
+
+    def test_count_estimate_covers_population(self):
+        catalog = make_catalog(sample_size=128)
+        session = QuerySession(catalog)
+        answer = session.execute("t", Freshness.serve_stale(), aggregate="count")
+        # Unfiltered count estimates the whole dataset exactly.
+        assert answer.estimate.value == pytest.approx(answer.dataset_size)
+        assert answer.rows_scanned == 128
+
+    def test_threshold_filters(self):
+        catalog = make_catalog(sample_size=128)
+        session = QuerySession(catalog)
+        everything = session.execute(
+            "t", Freshness.serve_stale(), aggregate="fraction", threshold=0
+        )
+        nothing = session.execute(
+            "t", Freshness.serve_stale(), aggregate="fraction", threshold=1 << 40
+        )
+        assert everything.estimate.value == pytest.approx(1.0)
+        assert nothing.estimate.value == pytest.approx(0.0)
+
+    def test_all_aggregates_answer(self):
+        catalog = make_catalog(sample_size=64)
+        session = QuerySession(catalog)
+        for aggregate in AGGREGATES:
+            answer = session.execute(
+                "t", Freshness.serve_stale(), aggregate=aggregate, threshold=100
+            )
+            assert answer.estimate.interval.low <= answer.estimate.value
+            assert answer.estimate.value <= answer.estimate.interval.high
+
+    def test_unknown_aggregate_rejected(self):
+        catalog = make_catalog()
+        session = QuerySession(catalog)
+        with pytest.raises(ValueError):
+            session.execute("t", Freshness.serve_stale(), aggregate="avg")
+
+    def test_query_io_is_sequential_scan(self):
+        catalog = make_catalog(sample_size=256)  # 2 blocks at 128/block
+        session = QuerySession(catalog)
+        before = catalog.cost_model.checkpoint()
+        session.execute("t", Freshness.serve_stale())
+        delta = catalog.cost_model.since(before)
+        assert delta.seq_reads == 2
+        assert delta.total_accesses == 2
