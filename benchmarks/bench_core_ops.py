@@ -14,13 +14,14 @@ batch-path numbers against the committed baseline (docs/performance.md).
 from repro.core.logs import CandidateLogSource
 from repro.core.maintenance import SampleMaintainer
 from repro.core.multi import MultiSampleManager
-from repro.core.policies import ManualPolicy
+from repro.core.policies import ManualPolicy, PeriodicPolicy
 from repro.core.refresh.array import ArrayRefresh
 from repro.core.refresh.nomem import NomemRefresh, span_of_gaps
 from repro.core.refresh.stack import StackRefresh, select_final_indexes
 from repro.core.reservoir import ReservoirSampler
 from repro.rng.random_source import RandomSource
 from repro.storage.block_device import SimulatedBlockDevice
+from repro.storage.bufferpool import BufferPool
 from repro.storage.cost_model import CostModel
 from repro.storage.files import LogFile, SampleFile
 from repro.storage.records import IntRecordCodec
@@ -218,6 +219,61 @@ def test_fleet_ingest_scalar_throughput(benchmark, scale):
 def test_fleet_ingest_batch_throughput(benchmark, scale):
     """Per-maintainer skip-based delegation: O(accepted) per sample."""
     _bench_fleet_ingest(benchmark, scale, scalar=False)
+
+
+# -- pool effectiveness: refresh traffic with and without the page cache -----
+#
+# PR 5's claim: an enabled BufferPool cuts device block accesses on the
+# insert -> refresh cycle (log re-reads become frame hits, sample writes
+# coalesce behind flush barriers) without touching the data plane.  The
+# gated throughput is the pooled cycle; the bare cycle's access count is
+# recorded alongside so the report shows the reduction.
+
+
+def _pool_cycle(pool_capacity: int, sample_size: int, initial: int, inserts: int):
+    """One insert->refresh workload; returns total device block accesses."""
+    cost = CostModel()
+    codec = IntRecordCodec()
+    rng = RandomSource(seed=17)
+
+    def device(name):
+        dev = SimulatedBlockDevice(cost, name)
+        if pool_capacity == 0:
+            return dev
+        return BufferPool(dev, capacity=pool_capacity, readahead=8)
+
+    sample = SampleFile(device("sample"), codec, sample_size)
+    sample.initialize(list(range(sample_size)))
+    maintainer = SampleMaintainer(
+        sample,
+        rng,
+        strategy="candidate",
+        initial_dataset_size=initial,
+        log=LogFile(device("log"), codec),
+        algorithm=StackRefresh(),
+        policy=PeriodicPolicy(max(1, inserts // 4)),
+        cost_model=cost,
+    )
+    maintainer.insert_many(range(initial, initial + inserts))
+    maintainer.refresh()
+    return cost.stats.total_accesses
+
+
+def test_pool_refresh_cycle_throughput(benchmark, scale):
+    """Insert->refresh through an enabled pool; gated like the batch path."""
+    sample_size, initial_dataset, inserts = _insert_workload(scale)
+    bare_accesses = _pool_cycle(0, sample_size, initial_dataset, inserts)
+
+    pooled_accesses = benchmark(
+        lambda: _pool_cycle(64, sample_size, initial_dataset, inserts)
+    )
+    benchmark.extra_info["elements"] = inserts
+    benchmark.extra_info["elements_per_sec"] = inserts / benchmark.stats.stats.mean
+    benchmark.extra_info["device_accesses_bare"] = bare_accesses
+    benchmark.extra_info["device_accesses_pooled"] = pooled_accesses
+    benchmark.extra_info["access_reduction"] = 1 - pooled_accesses / bare_accesses
+    # The benchmark doubles as the effectiveness check: fewer accesses, always.
+    assert pooled_accesses < bare_accesses
 
 
 def test_stream_generation_batch(benchmark, scale):

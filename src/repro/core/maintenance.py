@@ -28,6 +28,7 @@ from repro.core.reservoir import ReservoirSampler
 from repro.obs.api import Instrumentation, maybe_span
 from repro.obs.catalogue import COUNT_BUCKETS, SECONDS_BUCKETS
 from repro.rng.random_source import RandomSource
+from repro.storage.bufferpool import flush_barrier
 from repro.storage.cost_model import AccessStats, CostModel
 from repro.storage.files import LogFile, SampleFile
 
@@ -373,6 +374,10 @@ class SampleMaintainer:
                     source = self._full_logger.source(self._sample.size, self._rng)
                     result = self._algorithm.refresh(self._sample, source, self._rng)
                 self._full_logger.after_refresh()
+            # Refresh commit point: the new sample must be on the device
+            # before the truncated log stops being replayable.  Any write
+            # a buffer pool deferred is booked here, as offline cost.
+            self._flush_devices()
             self._charge_offline(checkpoint)
             self.stats.refreshes += 1
             self.stats.displaced_total += result.displaced
@@ -425,6 +430,10 @@ class SampleMaintainer:
             log_count = 0
             dataset_at_refresh = self._reservoir.seen
             pending = self._reservoir.pending_accept
+        # Checkpoint point: the snapshot describes on-device state, so any
+        # buffered sample/log writes must reach the device first (barriers
+        # are free on plain devices, booked online like the log flush).
+        self._flush_devices()
         self._charge_online(online_mark)
         seed, spawn_count, state, w = MaintenanceCheckpoint.capture_rng(self._rng)
         return MaintenanceCheckpoint(
@@ -509,6 +518,13 @@ class SampleMaintainer:
             maintainer._c_refreshes.restore(checkpoint.refreshes)
             maintainer._sync_gauges()
         return maintainer
+
+    def _flush_devices(self) -> None:
+        """Flush barrier on the sample and log devices (no-op unpooled)."""
+        flush_barrier(self._sample.device)
+        log = self._log_file()
+        if log is not None and log.device is not self._sample.device:
+            flush_barrier(log.device)
 
     # -- telemetry -------------------------------------------------------------
 

@@ -3,10 +3,11 @@
 Compares a freshly produced pytest-benchmark JSON report against the
 committed baseline (``benchmarks/BENCH_core_ops.json``) and fails when a
 gated benchmark's throughput dropped by more than the threshold.  By
-default only the **batch-path** benchmarks are gated (names matching
-``batch``): they carry the paper's O(accepted) scaling claim, while the
-scalar benchmarks exist as the comparison floor and may drift with
-interpreter noise.
+default the **batch-path** and **pool** benchmarks are gated (names
+matching ``batch|pool``): the batch path carries the paper's O(accepted)
+scaling claim and the pooled refresh cycle carries PR 5's
+access-reduction claim, while the scalar benchmarks exist as the
+comparison floor and may drift with interpreter noise.
 
 Throughput is read from ``extra_info["elements_per_sec"]`` when the
 benchmark recorded it (benchmarks/bench_core_ops.py does), falling back
@@ -36,7 +37,7 @@ __all__ = [
 
 DEFAULT_BASELINE = Path("benchmarks") / "BENCH_core_ops.json"
 DEFAULT_THRESHOLD = 0.25
-DEFAULT_SELECT = "batch"
+DEFAULT_SELECT = "batch|pool"
 
 
 @dataclass(frozen=True)

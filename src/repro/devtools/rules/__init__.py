@@ -5,9 +5,19 @@ from repro.devtools.rules import (  # noqa: F401  (imported for registration)
     arg001,
     flt001,
     io001,
+    io002,
     obs001,
     rng001,
     time001,
 )
 
-__all__ = ["api001", "arg001", "flt001", "io001", "obs001", "rng001", "time001"]
+__all__ = [
+    "api001",
+    "arg001",
+    "flt001",
+    "io001",
+    "io002",
+    "obs001",
+    "rng001",
+    "time001",
+]

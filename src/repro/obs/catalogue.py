@@ -89,6 +89,34 @@ INSTRUMENTS: dict[str, InstrumentSpec] = {
     "device.crashes": InstrumentSpec(
         "counter", "injected crashes fired, labelled device=", "crashes"
     ),
+    # -- buffer-pool page cache (repro.storage.bufferpool) -------------------
+    "storage.pool.hits": InstrumentSpec(
+        "counter", "charged reads served from a resident frame, labelled device=",
+        "blocks",
+    ),
+    "storage.pool.misses": InstrumentSpec(
+        "counter", "charged reads that went to the device, labelled device=",
+        "blocks",
+    ),
+    "storage.pool.readahead_blocks": InstrumentSpec(
+        "counter",
+        "blocks prefetched inside a declared scan window, labelled device=",
+        "blocks",
+    ),
+    "storage.pool.evictions": InstrumentSpec(
+        "counter", "frames evicted to make room (LRU), labelled device=", "blocks"
+    ),
+    "storage.pool.flushed_blocks": InstrumentSpec(
+        "counter",
+        "dirty frames written back at a flush barrier or eviction, "
+        "labelled device=",
+        "blocks",
+    ),
+    "storage.pool.coalesced_writes": InstrumentSpec(
+        "counter",
+        "buffered writes absorbed by an already-dirty frame, labelled device=",
+        "blocks",
+    ),
     # -- geometric-file baseline --------------------------------------------
     "gf.flushes": InstrumentSpec(
         "counter", "geometric-file buffer flushes (segment creations)"

@@ -29,7 +29,8 @@ from repro.core.refresh.nomem import NomemRefresh
 from repro.core.refresh.stack import StackRefresh
 from repro.core.reservoir import build_reservoir
 from repro.rng.random_source import RandomSource
-from repro.storage.block_device import SimulatedBlockDevice
+from repro.storage.block_device import BlockDevice, SimulatedBlockDevice
+from repro.storage.bufferpool import BufferPool
 from repro.storage.cost_model import CostModel
 from repro.storage.files import LogFile, SampleFile
 from repro.storage.records import IntRecordCodec, RecordCodec
@@ -55,7 +56,10 @@ class CatalogEntry:
 
     The devices are kept here (not just the files over them) because they
     are what survives a simulated crash -- recovery builds fresh files
-    over the same devices.
+    over the same devices.  Any :class:`BlockDevice` works: the catalog
+    wraps its simulated devices in a :class:`BufferPool` when a page
+    cache is configured (a pool's frames are RAM and do *not* survive a
+    crash -- recovery tests invalidate them first).
     """
 
     name: str
@@ -66,9 +70,9 @@ class CatalogEntry:
     sample: SampleFile
     log: LogFile
     store: DualSlotCheckpointStore
-    sample_device: SimulatedBlockDevice
-    log_device: SimulatedBlockDevice
-    meta_device: SimulatedBlockDevice
+    sample_device: BlockDevice
+    log_device: BlockDevice
+    meta_device: BlockDevice
 
 
 class SampleCatalog:
@@ -78,9 +82,16 @@ class SampleCatalog:
         self,
         cost_model: CostModel | None = None,
         instrumentation: "Instrumentation | None" = None,
+        pool_capacity: int = 0,
+        pool_readahead: int = 8,
     ) -> None:
+        if pool_capacity < 0:
+            raise ValueError("pool_capacity must be non-negative")
         self._cost_model = cost_model if cost_model is not None else CostModel()
         self._instr = instrumentation
+        self._pool_capacity = pool_capacity
+        self._pool_readahead = pool_readahead
+        self._pools: list[BufferPool] = []
         self._manager = MultiSampleManager(self._cost_model)
         self._entries: dict[str, CatalogEntry] = {}
         if instrumentation is not None:
@@ -95,6 +106,59 @@ class SampleCatalog:
     @property
     def manager(self) -> MultiSampleManager:
         return self._manager
+
+    @property
+    def pool_capacity(self) -> int:
+        return self._pool_capacity
+
+    def pool_stats(self) -> dict:
+        """Aggregate page-cache counters across every per-sample pool.
+
+        Serves the ``pool`` section of the serve report; all-zero (with
+        ``enabled: false``) when the catalog runs without a page cache,
+        so report comparisons can simply drop this section.
+        """
+        totals = {
+            "enabled": self._pool_capacity > 0,
+            "capacity": self._pool_capacity,
+            "pools": len(self._pools),
+            "hits": 0,
+            "misses": 0,
+            "readahead_blocks": 0,
+            "evictions": 0,
+            "flushed_blocks": 0,
+            "coalesced_writes": 0,
+            "flush_barriers": 0,
+        }
+        for pool in self._pools:
+            stats = pool.stats
+            totals["hits"] += stats.hits
+            totals["misses"] += stats.misses
+            totals["readahead_blocks"] += stats.readahead_blocks
+            totals["evictions"] += stats.evictions
+            totals["flushed_blocks"] += stats.flushed_blocks
+            totals["coalesced_writes"] += stats.coalesced_writes
+            totals["flush_barriers"] += stats.flush_barriers
+        charged = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = round(totals["hits"] / charged, 6) if charged else 0.0
+        return totals
+
+    def _make_device(self, name: str) -> BlockDevice:
+        """One simulated device, wrapped in a pool when a cache is configured."""
+        device: BlockDevice = SimulatedBlockDevice(
+            self._cost_model, name=name, instrumentation=self._instr
+        )
+        if self._pool_capacity > 0:
+            pool = BufferPool(
+                device,
+                capacity=self._pool_capacity,
+                readahead=self._pool_readahead,
+                instrumentation=self._instr,
+                name=name,
+            )
+            self._pools.append(pool)
+            return pool
+        return device
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -153,15 +217,9 @@ class SampleCatalog:
             )
         rng = RandomSource(seed)
         codec = IntRecordCodec(record_size)
-        sample_device = SimulatedBlockDevice(
-            self._cost_model, name=f"{name}.sample", instrumentation=self._instr
-        )
-        log_device = SimulatedBlockDevice(
-            self._cost_model, name=f"{name}.log", instrumentation=self._instr
-        )
-        meta_device = SimulatedBlockDevice(
-            self._cost_model, name=f"{name}.meta", instrumentation=self._instr
-        )
+        sample_device = self._make_device(f"{name}.sample")
+        log_device = self._make_device(f"{name}.log")
+        meta_device = self._make_device(f"{name}.meta")
         initial = [rng.randrange(value_range) for _ in range(initial_dataset_size)]
         values, seen = build_reservoir(initial, sample_size, rng)
         sample = SampleFile(sample_device, codec, sample_size)

@@ -75,6 +75,21 @@ def add_serve_sim_parser(sub) -> argparse.ArgumentParser:
         help="what to do with queries that fail admission",
     )
     parser.add_argument(
+        "--pool-capacity",
+        type=int,
+        default=0,
+        help=(
+            "page-cache frames per device (0 = no buffer pool, "
+            "bit-identical paper accounting)"
+        ),
+    )
+    parser.add_argument(
+        "--pool-readahead",
+        type=int,
+        default=8,
+        help="blocks to prefetch on a sequential miss inside a declared scan",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -105,6 +120,8 @@ def run_serve_sim_command(args: argparse.Namespace) -> int:
         max_queue_depth=args.max_queue_depth,
         max_wait_seconds=args.max_wait_seconds,
         overload_action=args.overload_action,
+        pool_capacity=args.pool_capacity,
+        pool_readahead=args.pool_readahead,
     )
     instrumentation = Instrumentation(cost_model=CostModel())
     report = run_simulation(config, instrumentation=instrumentation)
@@ -148,6 +165,18 @@ def run_serve_sim_command(args: argparse.Namespace) -> int:
         f"seq r/w={offline['seq_reads']}/{offline['seq_writes']} "
         f"rand r/w={offline['random_reads']}/{offline['random_writes']}"
     )
+    device = report.device
+    total_accesses = sum(device.values())
+    print(f"  device accesses: {total_accesses} blocks")
+    pool = report.pool
+    if pool.get("enabled"):
+        print(
+            f"  buffer pool: capacity={pool['capacity']} "
+            f"hit_rate={pool['hit_rate']:.3f} "
+            f"(hits={pool['hits']} misses={pool['misses']} "
+            f"readahead={pool['readahead_blocks']} "
+            f"coalesced={pool['coalesced_writes']})"
+        )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(report.to_json(include_trace=not args.no_trace))

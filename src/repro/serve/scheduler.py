@@ -211,6 +211,10 @@ class ServeReport:
     refreshes_by_sample: dict = field(default_factory=dict)
     online: dict = field(default_factory=dict)
     offline: dict = field(default_factory=dict)
+    #: total device block accesses the run charged (all job classes)
+    device: dict = field(default_factory=dict)
+    #: page-cache effectiveness (catalog.pool_stats(); enabled=false when off)
+    pool: dict = field(default_factory=dict)
     trace: list = field(default_factory=list)
 
     def to_dict(self, include_trace: bool = True) -> dict:
@@ -230,6 +234,8 @@ class ServeReport:
             "refreshes_by_sample": dict(self.refreshes_by_sample),
             "online": dict(self.online),
             "offline": dict(self.offline),
+            "device": dict(self.device),
+            "pool": dict(self.pool),
         }
         if include_trace:
             out["trace"] = list(self.trace)
@@ -346,6 +352,7 @@ class DeterministicScheduler:
         refreshes_by_sample: dict[str, int] = {name: 0 for name in catalog.names()}
         online_mark = catalog.manager.online_stats()
         offline_mark = catalog.manager.offline_stats()
+        device_mark = cost_model.checkpoint()
         report = ServeReport(policy=self._policy.name, events=len(events), clock_seconds=0.0)
 
         while heap:
@@ -491,6 +498,8 @@ class DeterministicScheduler:
         report.offline = _stats_dict(
             catalog.manager.offline_stats() - offline_mark
         )
+        report.device = _stats_dict(cost_model.since(device_mark))
+        report.pool = catalog.pool_stats()
         report.trace = trace
         return report
 

@@ -29,7 +29,13 @@ from repro.serve.workload import synthetic_workload
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.api import Instrumentation
 
-__all__ = ["SimConfig", "build_catalog", "run_simulation"]
+__all__ = [
+    "SimConfig",
+    "build_catalog",
+    "run_simulation",
+    "query_answers",
+    "assert_same_answers",
+]
 
 
 @dataclass(frozen=True)
@@ -56,6 +62,9 @@ class SimConfig:
     max_wait_seconds: float | None = None
     overload_action: str = "shed"
     confidence: float = 0.95
+    #: page-cache frames per device (0 = no pool, bit-identical accounting)
+    pool_capacity: int = 0
+    pool_readahead: int = 8
 
     def sample_names(self) -> list[str]:
         return [f"s{index:02d}" for index in range(self.samples)]
@@ -69,7 +78,12 @@ def build_catalog(
     cost_model = (
         instrumentation.cost_model if instrumentation is not None else None
     )
-    catalog = SampleCatalog(cost_model=cost_model, instrumentation=instrumentation)
+    catalog = SampleCatalog(
+        cost_model=cost_model,
+        instrumentation=instrumentation,
+        pool_capacity=config.pool_capacity,
+        pool_readahead=config.pool_readahead,
+    )
     root = RandomSource(config.seed)
     for name in config.sample_names():
         catalog.create(
@@ -120,3 +134,55 @@ def run_simulation(
         instrumentation=instrumentation,
     )
     return scheduler.run(events)
+
+
+#: Trace fields that constitute a query's *answer* -- what the client sees.
+#: Timing fields (arrival/start/service/latency) are deliberately excluded:
+#: a page cache changes service times, never answers.
+_ANSWER_FIELDS = (
+    "kind",
+    "seq",
+    "sample",
+    "freshness",
+    "aggregate",
+    "staleness",
+    "refreshed",
+    "estimate",
+    "ci_low",
+    "ci_high",
+)
+
+
+def query_answers(report: dict) -> list[dict]:
+    """Extract the answer-only view of every query in a report's trace.
+
+    Takes a report *dict* (``ServeReport.to_dict()`` or parsed JSON) so
+    the two sides of a comparison can come from files, CLI artifacts or
+    live runs interchangeably.
+    """
+    return [
+        {key: entry[key] for key in _ANSWER_FIELDS}
+        for entry in report.get("trace", [])
+        if entry.get("kind") == "query"
+    ]
+
+
+def assert_same_answers(report_a: dict, report_b: dict) -> int:
+    """Assert two runs answered every query identically; returns the count.
+
+    This is the pool-fidelity check: a run with the page cache enabled
+    must return byte-identical estimates, confidence intervals, staleness
+    and refresh decisions to a run without it -- only costs and the
+    ``pool``/``device`` sections may differ.
+    """
+    answers_a = query_answers(report_a)
+    answers_b = query_answers(report_b)
+    if len(answers_a) != len(answers_b):
+        raise AssertionError(
+            f"query counts differ: {len(answers_a)} vs {len(answers_b)}"
+        )
+    for index, (a, b) in enumerate(zip(answers_a, answers_b)):
+        if a != b:
+            diffs = {k: (a[k], b[k]) for k in _ANSWER_FIELDS if a[k] != b[k]}
+            raise AssertionError(f"query {index} answers differ: {diffs}")
+    return len(answers_a)

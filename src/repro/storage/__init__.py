@@ -15,7 +15,15 @@ methodology:
   the two block-aligned on-disk structures every algorithm manipulates;
 * :mod:`~repro.storage.real_disk` -- a real-file backend plus the
   access-time calibration that regenerates the Sec. 6.1 table;
+* :mod:`~repro.storage.bufferpool` -- an optional page cache between the
+  files and any device (pin/unpin, LRU, readahead, write coalescing with
+  flush barriers); disabled by default for bit-exact paper accounting;
 * :mod:`~repro.storage.memory` -- main-memory accounting for Fig. 12.
+
+Every backend -- simulated, real-disk, fault-injected, buffer-pooled --
+satisfies the :class:`~repro.storage.block_device.BlockDevice` protocol,
+and everything above the device layer is typed against that protocol, so
+backends compose and interchange freely (see ``docs/storage.md``).
 """
 
 from repro.storage.cost_model import (
@@ -24,7 +32,13 @@ from repro.storage.cost_model import (
     DiskParameters,
     PAPER_DISK,
 )
-from repro.storage.block_device import SimulatedBlockDevice
+from repro.storage.block_device import BlockDevice, SimulatedBlockDevice
+from repro.storage.bufferpool import (
+    BufferPool,
+    PoolStats,
+    declare_scan,
+    flush_barrier,
+)
 from repro.storage.fault_injection import FaultInjectionDevice, InjectedCrash
 from repro.storage.files import LogFile, SampleFile, SequentialLogReader
 from repro.storage.memory import MemoryReport
@@ -42,7 +56,12 @@ __all__ = [
     "CostModel",
     "DiskParameters",
     "PAPER_DISK",
+    "BlockDevice",
     "SimulatedBlockDevice",
+    "BufferPool",
+    "PoolStats",
+    "declare_scan",
+    "flush_barrier",
     "RealBlockDevice",
     "WallClock",
     "calibrate_disk",

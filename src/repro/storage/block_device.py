@@ -26,16 +26,45 @@ __all__ = ["BlockDevice", "SimulatedBlockDevice"]
 
 
 class BlockDevice(Protocol):
-    """Minimal block-device interface shared by simulated and real backends."""
+    """Block-device interface shared by every backend.
+
+    The simulated, real-disk, fault-injected and buffer-pooled devices all
+    satisfy this protocol, which makes them interchangeable throughout the
+    stack: the file layer, the checkpoint stores and the serve catalog are
+    typed against it and never name a concrete device.
+
+    ``read_block``/``write_block`` are *charged* accesses (counted by the
+    cost model with the caller-declared sequential/random classification,
+    Sec. 6.1).  ``peek_block``/``poke_block`` are uncharged bookkeeping
+    accesses -- cache hits the paper's accounting grants for free --
+    and ``discard``/``discard_from`` model logical truncation, which moves
+    no data.
+    """
 
     @property
     def block_size(self) -> int:  # pragma: no cover - protocol
+        ...
+
+    @property
+    def cost_model(self) -> CostModel:  # pragma: no cover - protocol
         ...
 
     def read_block(self, index: int, sequential: bool) -> bytes:  # pragma: no cover
         ...
 
     def write_block(self, index: int, data: bytes, sequential: bool) -> None:  # pragma: no cover
+        ...
+
+    def peek_block(self, index: int) -> bytes:  # pragma: no cover - protocol
+        ...
+
+    def poke_block(self, index: int, data: bytes) -> None:  # pragma: no cover
+        ...
+
+    def discard(self, index: int) -> None:  # pragma: no cover - protocol
+        ...
+
+    def discard_from(self, first_index: int) -> None:  # pragma: no cover
         ...
 
 

@@ -18,6 +18,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.storage.block_device import BlockDevice
+from repro.storage.cost_model import CostModel
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs uses storage)
     from repro.obs.api import Instrumentation
 
@@ -38,7 +41,7 @@ class FaultInjectionDevice:
 
     def __init__(
         self,
-        inner,
+        inner: BlockDevice,
         writes_until_crash: int | None = None,
         instrumentation: "Instrumentation | None" = None,
         torn_writes: bool = False,
@@ -57,11 +60,11 @@ class FaultInjectionDevice:
         return self._inner.block_size
 
     @property
-    def cost_model(self):
+    def cost_model(self) -> CostModel:
         return self._inner.cost_model
 
     @property
-    def inner(self):
+    def inner(self) -> BlockDevice:
         """The undecorated device -- the 'disk' that survives the crash."""
         return self._inner
 

@@ -29,7 +29,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence, TypeVar
 
-from repro.storage.block_device import SimulatedBlockDevice
+from repro.storage.block_device import BlockDevice
+from repro.storage.bufferpool import declare_scan
 from repro.storage.records import RecordCodec
 
 __all__ = ["SampleFile", "LogFile"]
@@ -40,7 +41,7 @@ T = TypeVar("T")
 class _BlockStore:
     """Shared element-in-block packing over a block device."""
 
-    def __init__(self, device: SimulatedBlockDevice, codec: RecordCodec) -> None:
+    def __init__(self, device: BlockDevice, codec: RecordCodec) -> None:
         if device.block_size % codec.record_size != 0:
             raise ValueError(
                 f"record size {codec.record_size} must divide block size "
@@ -51,7 +52,7 @@ class _BlockStore:
         self._per_block = device.block_size // codec.record_size
 
     @property
-    def device(self) -> SimulatedBlockDevice:
+    def device(self) -> BlockDevice:
         return self._device
 
     @property
@@ -82,7 +83,7 @@ class SampleFile(_BlockStore):
 
     def __init__(
         self,
-        device: SimulatedBlockDevice,
+        device: BlockDevice,
         codec: RecordCodec,
         size: int,
         cached_blocks: int = 0,
@@ -189,6 +190,7 @@ class SampleFile(_BlockStore):
 
     def scan(self) -> Iterator[T]:
         """Yield every element front to back: one sequential read per block."""
+        declare_scan(self._device, 0, self.block_count)
         emitted = 0
         for block_index in range(self.block_count):
             data = self._charge_read(block_index, sequential=True)
@@ -251,7 +253,7 @@ class LogFile(_BlockStore):
     what differs is only *which* elements the maintenance strategy appends.
     """
 
-    def __init__(self, device: SimulatedBlockDevice, codec: RecordCodec) -> None:
+    def __init__(self, device: BlockDevice, codec: RecordCodec) -> None:
         super().__init__(device, codec)
         self._count = 0
         self._buffer: list[T] = []
@@ -363,6 +365,7 @@ class LogFile(_BlockStore):
     def scan_all(self) -> list[T]:
         """Read the whole log: one sequential read per block."""
         self.flush()
+        declare_scan(self._device, 0, self.block_count)
         values: list[T] = []
         for block_index in range(self.block_count):
             data = self._device.read_block(block_index, sequential=True)
@@ -378,6 +381,7 @@ class LogFile(_BlockStore):
         only the blocks that contain final candidates.
         """
         self.flush()
+        declare_scan(self._device, 0, self.block_count)
         values: list[T] = []
         current_block = -1
         data = b""
@@ -407,6 +411,7 @@ class LogFile(_BlockStore):
         :meth:`read_indexed_sorted`.
         """
         self.flush()
+        declare_scan(self._device, 0, self.block_count)
         return SequentialLogReader(self)
 
     def read_one_random(self, index: int) -> T:

@@ -33,6 +33,8 @@ from dataclasses import dataclass
 
 from repro.rng.mt19937 import MTState
 from repro.rng.random_source import RandomSource
+from repro.storage.block_device import BlockDevice
+from repro.storage.bufferpool import flush_barrier
 
 __all__ = [
     "MaintenanceCheckpoint",
@@ -195,16 +197,21 @@ class CheckpointStore:
     (or reserve the first block of an existing one).
     """
 
-    def __init__(self, device, block_index: int = 0) -> None:
+    def __init__(self, device: BlockDevice, block_index: int = 0) -> None:
         if block_index < 0:
             raise ValueError("block_index must be non-negative")
         self._device = device
         self._block_index = block_index
 
     def save(self, checkpoint: MaintenanceCheckpoint) -> None:
-        """Write the superblock: one random block write."""
+        """Write the superblock: one random block write, flushed through.
+
+        A checkpoint that sits in a buffer pool is no checkpoint at all,
+        so the save ends with a flush barrier on its own device.
+        """
         data = checkpoint.to_bytes(self._device.block_size)
         self._device.write_block(self._block_index, data, sequential=False)
+        flush_barrier(self._device)
 
     def load(self) -> MaintenanceCheckpoint:
         """Read and validate the superblock: one random block read."""
@@ -243,7 +250,9 @@ class DualSlotCheckpointStore:
     to two random reads per load.
     """
 
-    def __init__(self, device, block_indexes: tuple[int, int] = (0, 1)) -> None:
+    def __init__(
+        self, device: BlockDevice, block_indexes: tuple[int, int] = (0, 1)
+    ) -> None:
         first, second = block_indexes
         if first < 0 or second < 0:
             raise ValueError("block indexes must be non-negative")
@@ -287,6 +296,7 @@ class DualSlotCheckpointStore:
         )
         data = checkpoint.to_bytes(self._device.block_size)
         self._device.write_block(target, data, sequential=False)
+        flush_barrier(self._device)
 
     def load(self) -> MaintenanceCheckpoint:
         """Read both slots, return the newest valid checkpoint.

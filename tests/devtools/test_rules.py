@@ -119,6 +119,64 @@ def test_io001_clean_outside_refresh_and_for_sequential_calls(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# IO002
+# ---------------------------------------------------------------------------
+
+
+def test_io002_flags_raw_device_calls_outside_storage(tmp_path):
+    make_tree(tmp_path, {
+        "core/maintenance.py": """\
+            def commit(device, data):
+                device.write_block(0, data, sequential=False)
+                return device.read_block(0, sequential=False)
+        """,
+        "serve/session.py": """\
+            def sneak(device):
+                device.poke_block(0, b"x")
+                device.discard_from(1)
+        """,
+    })
+    findings = lint(tmp_path, rules=["IO002"])
+    assert sorted((f.path, f.line) for f in findings) == [
+        ("core/maintenance.py", 2),
+        ("core/maintenance.py", 3),
+        ("serve/session.py", 2),
+        ("serve/session.py", 3),
+    ]
+    assert all(f.rule_id == "IO002" for f in findings)
+
+
+def test_io002_clean_inside_storage_and_for_file_layer_api(tmp_path):
+    make_tree(tmp_path, {
+        # The storage layer is where raw device access belongs.
+        "storage/files.py": """\
+            def charge(device, block, data):
+                device.write_block(block, data, sequential=True)
+                return device.read_block(block, sequential=True)
+        """,
+        # Consumers using the file layer and the barrier helpers are clean.
+        "core/refresh/good.py": """\
+            from repro.storage import flush_barrier
+            def refresh(sample, log):
+                values = log.scan_all()
+                sample.write_sequential(enumerate(values))
+                flush_barrier(sample.device)
+        """,
+    })
+    assert lint(tmp_path, rules=["IO002"]) == []
+
+
+def test_io002_suppression_comment(tmp_path):
+    make_tree(tmp_path, {
+        "obs/probe.py": """\
+            def inspect(device):
+                return device.peek_block(0)  # repro-lint: disable=IO002 debug probe
+        """,
+    })
+    assert lint(tmp_path, rules=["IO002"]) == []
+
+
+# ---------------------------------------------------------------------------
 # TIME001
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,68 @@
+"""Serve-layer pool smoke: pool on/off answers match, device traffic drops.
+
+This is the test-suite twin of the CI pool-smoke step: run the same
+serving simulation with the pool disabled and enabled and require (a)
+every query answer identical field-by-field, (b) strictly fewer device
+block accesses with the pool on, (c) a report whose ``pool`` section
+tells the truth in both modes.
+"""
+
+from repro.serve.sim import (
+    SimConfig,
+    assert_same_answers,
+    query_answers,
+    run_simulation,
+)
+
+import pytest
+
+BASE = dict(seed=7, samples=2, events=200, sample_size=128)
+
+
+def run(pool_capacity):
+    config = SimConfig(**BASE, pool_capacity=pool_capacity)
+    return run_simulation(config).to_dict()
+
+
+def test_pool_on_off_answers_identical():
+    bare = run(pool_capacity=0)
+    pooled = run(pool_capacity=64)
+    compared = assert_same_answers(bare, pooled)
+    assert compared > 0  # the workload actually asked questions
+    assert compared == len(query_answers(bare))
+
+
+def test_pool_reduces_device_accesses():
+    bare = run(pool_capacity=0)
+    pooled = run(pool_capacity=64)
+    bare_total = sum(bare["device"].values())
+    pooled_total = sum(pooled["device"].values())
+    assert pooled_total < bare_total
+    assert pooled["pool"]["hits"] > 0
+
+
+def test_report_pool_section_reflects_mode():
+    bare = run(pool_capacity=0)
+    assert bare["pool"]["enabled"] is False
+    assert bare["pool"]["hits"] == 0
+
+    pooled = run(pool_capacity=64)
+    assert pooled["pool"]["enabled"] is True
+    assert pooled["pool"]["capacity"] == 64
+    assert 0.0 < pooled["pool"]["hit_rate"] <= 1.0
+
+
+def test_pooled_runs_are_deterministic():
+    """Two pooled runs from the same seed are identical end to end."""
+    assert run(pool_capacity=64) == run(pool_capacity=64)
+
+
+def test_assert_same_answers_catches_divergence():
+    bare = run(pool_capacity=0)
+    other = run(pool_capacity=64)
+    answers = query_answers(other)
+    answers[0]["estimate"] = (answers[0]["estimate"] or 0) + 1.0
+    # Rebuild a report-shaped dict with the tampered trace.
+    tampered = {"trace": [dict(a) for a in answers]}
+    with pytest.raises(AssertionError, match="estimate"):
+        assert_same_answers(bare, tampered)

@@ -1,0 +1,138 @@
+"""LogFile crash recovery: reopen/truncate under crashes armed mid-flush.
+
+Mirrors the dual-slot superblock tests one layer down: a crash can land
+on any log write -- mid-append-stream, on the partial-tail flush, on the
+first (seek) write after a truncate, or inside a buffer-pool flush
+barrier -- and a fresh ``LogFile`` reopened over the surviving device at
+the last durable element count must resume *bit-identically*: same
+records, same on-device bytes, same charged accesses for everything
+appended after recovery.
+"""
+
+import pytest
+
+from repro.storage.block_device import SimulatedBlockDevice
+from repro.storage.bufferpool import BufferPool
+from repro.storage.cost_model import CostModel
+from repro.storage.fault_injection import FaultInjectionDevice, InjectedCrash
+from repro.storage.files import LogFile
+from repro.storage.records import IntRecordCodec
+
+CODEC = IntRecordCodec()
+PER_BLOCK = 4096 // CODEC.record_size
+
+
+def make_stack(writes_until_crash=None):
+    inner = SimulatedBlockDevice(CostModel(), "log-disk")
+    faulty = FaultInjectionDevice(inner, writes_until_crash=writes_until_crash)
+    return LogFile(faulty, CODEC), faulty, inner
+
+
+def control_log(appends):
+    """An uninterrupted log fed the same elements, for comparison."""
+    log = LogFile(SimulatedBlockDevice(CostModel(), "control"), CODEC)
+    log.append_many(list(appends))
+    log.flush()
+    return log
+
+
+def test_reopen_resumes_bit_identically_after_crash_mid_flush():
+    log, faulty, inner = make_stack()
+    first = list(range(PER_BLOCK + 7))  # one full block + partial tail
+    log.append_many(first)
+    log.flush()  # durable point: element count known to the "checkpoint"
+    durable_count = len(log)
+
+    # More appends arrive, then the process dies flushing their tail.
+    log.append_many(range(1000, 1000 + 5))
+    faulty.arm(0)
+    with pytest.raises(InjectedCrash):
+        log.flush()
+
+    # Recovery: fresh LogFile over the surviving device at the durable count.
+    faulty.disarm()
+    recovered = LogFile(faulty, CODEC)
+    recovered.reopen(durable_count)
+    assert recovered.peek_all() == first
+    # The lost appends are replayed; the log must end up byte-identical to
+    # one that never crashed.
+    recovered.append_many(range(1000, 1000 + 5))
+    recovered.flush()
+    control = control_log(first + list(range(1000, 1000 + 5)))
+    assert recovered.peek_all() == control.peek_all()
+    assert len(recovered) == len(control)
+    for block in range(recovered.block_count):
+        assert inner.peek_block(block) == control.device.peek_block(block)
+
+
+def test_crash_on_first_write_after_truncate_loses_nothing_durable():
+    log, faulty, inner = make_stack()
+    log.append_many(range(2 * PER_BLOCK))
+    log.flush()
+    log.truncate()  # discards are not writes: no budget consumed
+
+    # The next append stream dies on its very first (seek) write.
+    faulty.arm(0)
+    with pytest.raises(InjectedCrash):
+        log.append_many(range(500, 500 + PER_BLOCK))
+
+    # Post-truncate the durable log is empty; recovery resumes from zero.
+    faulty.disarm()
+    recovered = LogFile(faulty, CODEC)
+    recovered.reopen(0)
+    assert len(recovered) == 0
+    assert recovered.peek_all() == []
+    recovered.append_many(range(500, 500 + PER_BLOCK))
+    recovered.flush()
+    control = control_log(range(500, 500 + PER_BLOCK))
+    assert recovered.peek_all() == control.peek_all()
+    # Including the seek charge: the first post-truncate write is random.
+    assert inner.cost_model.stats.random_writes >= 1
+
+
+def test_reopen_mid_block_charges_one_recovery_seek():
+    log, faulty, inner = make_stack()
+    elements = list(range(PER_BLOCK + 3))
+    log.append_many(elements)
+    log.flush()
+    before = inner.cost_model.stats.copy()
+    recovered = LogFile(faulty, CODEC)
+    recovered.reopen(len(elements))
+    delta = inner.cost_model.stats - before
+    assert delta.random_reads == 1  # the tail reload is the recovery seek
+    assert delta.total_accesses == 1
+    recovered.append(9999)
+    assert recovered.peek_all() == elements + [9999]
+
+
+def test_crash_inside_pool_barrier_then_reopen_over_invalidated_pool():
+    """Pooled log: a crash mid-barrier loses RAM, not the durable prefix."""
+    inner = SimulatedBlockDevice(CostModel(), "log-disk")
+    faulty = FaultInjectionDevice(inner)
+    pool = BufferPool(faulty, capacity=8)
+    log = LogFile(pool, CODEC)
+
+    first = list(range(PER_BLOCK + 5))
+    log.append_many(first)
+    log.flush()
+    pool.flush()  # barrier: the first generation is durable
+    durable_count = len(log)
+
+    log.append_many(range(2000, 2000 + 2 * PER_BLOCK))
+    faulty.arm(1)  # barrier flushes ascending: one block lands, then death
+    with pytest.raises(InjectedCrash):
+        pool.flush()
+
+    # Crash loses every frame; recovery sees only what barriers persisted.
+    faulty.disarm()
+    pool.invalidate()
+    recovered = LogFile(pool, CODEC)
+    recovered.reopen(durable_count)
+    assert recovered.peek_all() == first
+    recovered.append_many(range(2000, 2000 + 2 * PER_BLOCK))
+    recovered.flush()
+    pool.flush()
+    control = control_log(first + list(range(2000, 2000 + 2 * PER_BLOCK)))
+    assert recovered.peek_all() == control.peek_all()
+    for block in range(recovered.block_count):
+        assert inner.peek_block(block) == control.device.peek_block(block)
