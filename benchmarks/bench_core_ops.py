@@ -326,3 +326,31 @@ def test_full_refresh_nomem(benchmark):
 
     displaced = benchmark(run)
     assert displaced > 0
+
+
+def test_lint_project_runtime(benchmark):
+    """Whole-program lint of the real tree: the analysis-engine guard.
+
+    The engine (symbol table, call graph, effects, CFGs) rebuilds on
+    every ``repro lint`` run, so its cost is developer-facing latency
+    and a CI tax on every PR.  ``elements_per_sec`` is functions
+    analysed per second; ``repro bench-compare`` gates it against the
+    committed baseline like the batch and pool paths, so an accidental
+    quadratic blow-up in call resolution fails the build instead of
+    slowly rotting the edit loop.
+    """
+    from repro.devtools.callgraph import analyze_project
+    from repro.devtools.runner import LintRunner
+
+    project, diagnostics = LintRunner().build_project(None)
+    assert diagnostics == []
+    functions_analyzed = len(analyze_project(project).functions)
+
+    findings = benchmark(lambda: LintRunner().run())
+    benchmark.extra_info["functions"] = functions_analyzed
+    benchmark.extra_info["elements_per_sec"] = (
+        functions_analyzed / benchmark.stats.stats.mean
+    )
+    # The run doubles as the cleanliness check at bench time.
+    assert findings == []
+    assert functions_analyzed > 500

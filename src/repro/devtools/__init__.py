@@ -7,9 +7,20 @@ Algorithms 1-3 must touch disk strictly sequentially (or the cost model
 quietly prices the wrong access pattern).  This package makes those
 domain invariants machine-checked: an AST-based rule framework with a
 registry (:mod:`~repro.devtools.registry`), per-line and per-file
-suppression comments (:mod:`~repro.devtools.suppressions`), text/JSON
-reporters (:mod:`~repro.devtools.reporters`) and a ``repro lint`` CLI
-subcommand (:mod:`~repro.devtools.cli`).
+suppression comments (:mod:`~repro.devtools.suppressions`), text/JSON/
+SARIF reporters (:mod:`~repro.devtools.reporters`,
+:mod:`~repro.devtools.sarif`), a committed-baseline gate
+(:mod:`~repro.devtools.baseline`) and a ``repro lint`` CLI subcommand
+(:mod:`~repro.devtools.cli`).
+
+The deepest rules are *interprocedural*: a whole-program analysis
+engine (:mod:`~repro.devtools.callgraph` for the symbol table and call
+graph, :mod:`~repro.devtools.effects` for transitive effect inference,
+:mod:`~repro.devtools.cfg` for per-function dominance) lets DET001
+trace RNG state through call chains, BAR001 demand a flush barrier on
+every path into a superblock commit, and SRV001 keep device writes off
+the serving read path.  ``repro lint --dump-graph`` shows the engine's
+view.
 
 Rule ids, the invariants they protect and the suppression syntax are
 documented in ``docs/static_analysis.md``.
@@ -30,9 +41,15 @@ from repro.devtools.registry import (
     register,
     resolve_rules,
 )
+from repro.devtools.callgraph import ProjectAnalysis, analyze_project
 from repro.devtools.reporters import format_json, format_text
 from repro.devtools.runner import LintRunner, run_lint
-from repro.devtools.suppressions import SuppressionIndex, parse_suppressions
+from repro.devtools.sarif import render_sarif, to_sarif
+from repro.devtools.suppressions import (
+    Directive,
+    SuppressionIndex,
+    parse_suppressions,
+)
 
 __all__ = [
     "Finding",
@@ -44,8 +61,13 @@ __all__ = [
     "resolve_rules",
     "LintRunner",
     "run_lint",
+    "ProjectAnalysis",
+    "analyze_project",
+    "Directive",
     "SuppressionIndex",
     "parse_suppressions",
     "format_text",
     "format_json",
+    "to_sarif",
+    "render_sarif",
 ]

@@ -1,0 +1,98 @@
+"""Committed-baseline mode for ``repro lint``.
+
+A baseline is a committed JSON inventory of *accepted* findings: CI fails
+only on findings **not** in the baseline, so a new rule can land (with
+its existing debt recorded) without blocking every unrelated PR, and the
+debt shrinks monotonically -- fixing a finding never breaks the gate,
+introducing one always does.
+
+Fingerprinting is content-based, not line-based: a finding is identified
+by ``(path, rule_id, message)`` with an occurrence *count* per
+fingerprint.  Line numbers are deliberately excluded -- an unrelated
+edit above a baselined finding must not un-baseline it -- while the
+count keeps the gate honest when a second identical violation appears in
+the same file (the count exceeds the baseline and the new one fails).
+
+File shape (``lint_baseline.json``)::
+
+    {
+      "version": 1,
+      "findings": {"<path>::<rule>::<message>": <count>, ...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.devtools.findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "fingerprint",
+    "write_baseline",
+    "load_baseline",
+    "filter_baselined",
+]
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    return f"{finding.path}::{finding.rule_id}::{finding.message}"
+
+
+def _counts(findings: Iterable[Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        key = fingerprint(finding)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def write_baseline(path: Path | str, findings: Iterable[Finding]) -> None:
+    """Record *findings* as the accepted set (sorted, stable on disk)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": dict(sorted(_counts(findings).items())),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+
+
+def load_baseline(path: Path | str) -> dict[str, int]:
+    """The accepted fingerprint counts from a baseline file."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} in {path} "
+            f"(expected {BASELINE_VERSION}); regenerate with --write-baseline"
+        )
+    findings = data.get("findings", {})
+    if not isinstance(findings, dict):
+        raise ValueError(f"malformed baseline {path}: 'findings' must be an object")
+    return {str(k): int(v) for k, v in findings.items()}
+
+
+def filter_baselined(
+    findings: Iterable[Finding], accepted: dict[str, int]
+) -> list[Finding]:
+    """Findings not covered by *accepted* (sorted order preserved).
+
+    Coverage is per-occurrence: with a baseline count of N for a
+    fingerprint, the first N matching findings are absorbed and any
+    further ones pass through as new.
+    """
+    remaining = dict(accepted)
+    fresh: list[Finding] = []
+    for finding in sorted(findings):
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            continue
+        fresh.append(finding)
+    return fresh

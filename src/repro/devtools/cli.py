@@ -3,12 +3,27 @@
 Self-contained so :mod:`repro.cli` only needs two hooks:
 :func:`add_lint_parser` to declare the subcommand and
 :func:`run_lint_command` to execute it.  Exit status: 0 when clean, 1
-when findings exist, 2 on usage errors (unknown rule ids).
+when findings exist, 2 on usage errors (unknown rule ids, missing paths,
+unreadable baselines).
+
+Beyond the original text/JSON report, the command grew three CI-facing
+modes with the whole-program engine:
+
+* ``--format sarif`` emits a SARIF 2.1.0 log (GitHub code scanning's
+  input format; see :mod:`repro.devtools.sarif`);
+* ``--baseline FILE`` subtracts a committed inventory of accepted
+  findings, so the exit status gates only *new* findings, and
+  ``--write-baseline FILE`` (re)records the current findings as that
+  inventory;
+* ``--dump-graph`` prints the analysis engine's symbol-table/call-graph/
+  effects view as deterministic JSON and exits -- the debugging window
+  into what DET001/BAR001/SRV001 reasoned over.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -25,8 +40,9 @@ def add_lint_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser:
         help="check the tree against the paper's RNG/I-O discipline rules",
         description=(
             "AST-based invariant checker: enforces the paper's RNG "
-            "discipline (RNG001), sequential-only refresh I/O (IO001), "
-            "cost-model timing (TIME001) and friends. See "
+            "discipline (RNG001, DET001), sequential-only refresh I/O "
+            "(IO001), commit barrier ordering (BAR001), the serve "
+            "read-path contract (SRV001) and friends. See "
             "docs/static_analysis.md."
         ),
     )
@@ -46,7 +62,7 @@ def add_lint_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser:
     lint.add_argument(
         "--format",
         default="text",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         help="report format",
     )
     lint.add_argument(
@@ -59,7 +75,42 @@ def add_lint_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser:
         action="store_true",
         help="list registered rules and exit",
     )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "committed baseline of accepted findings; only findings not "
+            "in it are reported and gate the exit status"
+        ),
+    )
+    lint.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="record the current findings as the accepted baseline and exit 0",
+    )
+    lint.add_argument(
+        "--dump-graph",
+        action="store_true",
+        help=(
+            "print the whole-program analysis (symbol table, call graph, "
+            "effect sets) as JSON and exit"
+        ),
+    )
     return lint
+
+
+def _dump_graph(runner: LintRunner, paths) -> int:
+    from repro.devtools.callgraph import analyze_project
+
+    project, diagnostics = runner.build_project(paths)
+    analysis = analyze_project(project)
+    payload = analysis.to_json_dict()
+    if diagnostics:
+        payload["diagnostics"] = [f.to_dict() for f in sorted(diagnostics)]
+    print(json.dumps(payload, indent=2, sort_keys=False))
+    return 0
 
 
 def run_lint_command(args: argparse.Namespace) -> int:
@@ -85,8 +136,33 @@ def run_lint_command(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"repro lint: {exc.args[0]}", file=sys.stderr)
         return 2
+    if getattr(args, "dump_graph", False):
+        return _dump_graph(runner, args.paths or None)
     findings = runner.run(args.paths or None)
-    if args.format == "json":
+    if getattr(args, "write_baseline", None):
+        from repro.devtools.baseline import write_baseline
+
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"repro lint: wrote baseline with {len(findings)} "
+            f"finding{'s' if len(findings) != 1 else ''} to "
+            f"{args.write_baseline}"
+        )
+        return 0
+    if getattr(args, "baseline", None):
+        from repro.devtools.baseline import filter_baselined, load_baseline
+
+        try:
+            accepted = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"repro lint: cannot use baseline: {exc}", file=sys.stderr)
+            return 2
+        findings = filter_baselined(findings, accepted)
+    if args.format == "sarif":
+        from repro.devtools.sarif import render_sarif
+
+        print(render_sarif(findings), end="")
+    elif args.format == "json":
         print(format_json(findings, rules=runner.rules), end="")
     else:
         print(format_text(findings), end="")

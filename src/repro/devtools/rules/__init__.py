@@ -3,21 +3,29 @@
 from repro.devtools.rules import (  # noqa: F401  (imported for registration)
     api001,
     arg001,
+    bar001,
+    det001,
     flt001,
     io001,
     io002,
+    meta001,
     obs001,
     rng001,
+    srv001,
     time001,
 )
 
 __all__ = [
     "api001",
     "arg001",
+    "bar001",
+    "det001",
     "flt001",
     "io001",
     "io002",
+    "meta001",
     "obs001",
     "rng001",
+    "srv001",
     "time001",
 ]

@@ -1,0 +1,132 @@
+"""DET001: no module-global RNG may be reachable from core/serve/storage.
+
+The paper's correctness story (Gemulla & Lehner, Sec. 3-5) is stated for
+a *seeded* sample: every accept/reject decision, every skip count and
+every eviction choice must come from the one ``RandomSource`` stream the
+experiment was seeded with, or replays diverge bit-for-bit.  A
+module-global RNG (``_rng = Random()`` at import time) is the classic
+way this breaks: it is seeded once per *process*, shared across samples,
+and invisible in the call signature -- so a refresh run that merely
+imports the module in a different order produces different samples.
+
+This is the engine's taint rule: the analysis marks every module-level
+RNG binding in the tree, then every function that reads one directly,
+then propagates that taint *up the call graph* to a fixpoint.  Any
+tainted function living under ``core/``, ``serve/`` or ``storage/`` is a
+finding -- whether it touches the global itself or reaches it through an
+arbitrary chain of helpers in other packages.  (RNG001 keeps catching
+unmanaged ``random.random()`` call sites per-file; DET001 catches the
+hidden-state flow RNG001 cannot see.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ProjectRule, register
+from repro.devtools.runner import ProjectContext
+
+__all__ = ["RngTaintRule", "SCOPE_DIRS"]
+
+#: packages where determinism is load-bearing (the paper's algorithms,
+#: the serving read path, and the storage engine under both)
+SCOPE_DIRS = ("core", "serve", "storage")
+
+
+def _in_scope(rel_path: str) -> bool:
+    return any(
+        rel_path == d or rel_path.startswith(d + "/") for d in SCOPE_DIRS
+    )
+
+
+@register
+class RngTaintRule(ProjectRule):
+    id = "DET001"
+    title = "module-global RNG state reachable from core/serve/storage"
+    rationale = (
+        "Reproducibility requires every random decision to come from the "
+        "seeded per-sample stream (paper Sec. 3); import-time RNG state is "
+        "process-wide and order-dependent, so any path from the "
+        "deterministic packages to it breaks bit-identical replay."
+    )
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        from repro.devtools.callgraph import analyze_project
+
+        analysis = analyze_project(ctx)
+        if not analysis.rng_globals:
+            return
+
+        # The bindings themselves, when they live inside the scoped dirs.
+        for qual in sorted(analysis.rng_globals):
+            rel_path, name = qual.split("::", 1)
+            if _in_scope(rel_path):
+                yield Finding(
+                    path=rel_path,
+                    line=analysis.rng_globals[qual],
+                    col=0,
+                    rule_id=self.id,
+                    message=(
+                        f"module-global RNG '{name}' defined in a "
+                        "determinism-scoped package: construct the stream "
+                        "inside the experiment and pass it explicitly"
+                    ),
+                )
+
+        # Taint: function -> set of global RNG qualnames it can reach.
+        taint: dict[str, set[str]] = {}
+        for fn_qual, fn in analysis.functions.items():
+            if fn.rng_global_uses:
+                taint[fn_qual] = {use[0] for use in fn.rng_global_uses}
+        worklist = list(taint)
+        while worklist:
+            current = worklist.pop()
+            for caller in analysis.callers(current):
+                merged = taint.setdefault(caller, set())
+                before = len(merged)
+                merged |= taint[current]
+                if len(merged) != before:
+                    worklist.append(caller)
+
+        for fn_qual in sorted(taint):
+            fn = analysis.functions[fn_qual]
+            if not _in_scope(fn.rel_path):
+                continue
+            if fn.rng_global_uses:
+                for global_qual, line, col in sorted(fn.rng_global_uses):
+                    yield Finding(
+                        path=fn.rel_path,
+                        line=line,
+                        col=col,
+                        rule_id=self.id,
+                        message=(
+                            f"'{fn.name}' reads module-global RNG "
+                            f"'{global_qual}': thread the seeded "
+                            "RandomSource through instead"
+                        ),
+                    )
+                continue
+            # Tainted only transitively: report the first call site whose
+            # target chain reaches a global, so the finding points at the
+            # edge that imports the hidden state.
+            for site in sorted(fn.calls, key=lambda s: (s.line, s.col)):
+                reached = {
+                    g
+                    for target in site.targets
+                    for g in taint.get(target, ())
+                }
+                if reached:
+                    yield Finding(
+                        path=fn.rel_path,
+                        line=site.line,
+                        col=site.col,
+                        rule_id=self.id,
+                        message=(
+                            f"call to '{site.name}' reaches module-global "
+                            f"RNG {', '.join(sorted(reached))} through the "
+                            "call graph: thread the seeded RandomSource "
+                            "through instead"
+                        ),
+                    )
+                    break

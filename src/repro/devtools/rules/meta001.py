@@ -1,0 +1,44 @@
+"""META001: suppression directives that silenced nothing.
+
+A ``# repro-lint: disable=...`` comment that matches no finding is either
+stale (the violation it excused was fixed -- delete the comment so the
+rule guards the line again) or wrong (a typo'd rule id or a comment on
+the wrong line -- in which case the violation it *meant* to excuse is
+being reported anyway, or worse, a future one will be silently eaten).
+
+The detection itself lives in the runner
+(:meth:`~repro.devtools.runner.LintRunner._unused_suppressions`), because
+only the runner sees which directives matched findings after all rules
+ran; this class exists so META001 participates in the registry like any
+other rule -- selectable via ``--rules``, documented in the catalogue,
+and subject to the docs-drift test.  The runner emits META001 findings
+only when this rule is part of the active rule set, and only judges
+directives naming rules that actually ran (an ``ARG001``-only run says
+nothing about a ``TIME001`` suppression).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ProjectRule, register
+from repro.devtools.runner import ProjectContext
+
+__all__ = ["UnusedSuppressionRule"]
+
+
+@register
+class UnusedSuppressionRule(ProjectRule):
+    id = "META001"
+    title = "suppression comment matched no finding"
+    rationale = (
+        "Stale suppressions re-open the hole the rule was guarding; "
+        "typo'd ones never guarded anything. Either way the comment "
+        "lies about the code next to it."
+    )
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        # Emission happens in LintRunner after suppression matching; this
+        # registry entry only opts the rule into the run.
+        return iter(())

@@ -1,0 +1,82 @@
+"""SRV001: the serving read path must not write to devices.
+
+The serving layer's contract (docs/serving.md) is that *queries are
+reads*: a ``QuerySession`` answers from the in-memory sample or pooled
+pages, and every device mutation -- log appends, refresh write-backs,
+checkpoint commits -- happens through the refresh-job surface, where the
+scheduler serialises it against other maintenance.  A device write
+smuggled onto the query path (through any chain of helpers) would race
+the maintenance work the paper's deferred-refresh argument assumes is
+exclusive, and would make query latency depend on device state.
+
+The rule walks the call graph from every public ``QuerySession`` method,
+*stopping at* functions named ``refresh`` -- that is the sanctioned
+hand-off to the maintenance surface -- and flags any reached function
+whose own body performs a device write (``write_block``/``poke_block``/
+``discard``/``discard_from``).  Direct effects are used, not transitive
+ones, precisely so the sanctioned refresh boundary does not leak its
+effects back into the read path's verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ProjectRule, register
+from repro.devtools.runner import ProjectContext
+
+__all__ = ["ServeReadPathRule"]
+
+#: the sanctioned mutation hand-off: calls to these names are not traversed
+REFRESH_SURFACE_NAMES = frozenset({"refresh"})
+
+
+@register
+class ServeReadPathRule(ProjectRule):
+    id = "SRV001"
+    title = "device write reachable from the QuerySession read path"
+    rationale = (
+        "Deferred maintenance assumes queries read and refresh jobs "
+        "write (docs/serving.md); a write reachable from the query path "
+        "races the maintenance surface and breaks the cost accounting."
+    )
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        from repro.devtools.callgraph import analyze_project
+        from repro.devtools.effects import direct_effects
+
+        analysis = analyze_project(ctx)
+        entry_points = sorted(
+            method_qual
+            for cls in analysis.classes.values()
+            if cls.name == "QuerySession"
+            and (cls.rel_path == "serve" or cls.rel_path.startswith("serve/"))
+            for method_name, method_qual in cls.methods.items()
+            if not method_name.startswith("_")
+        )
+        if not entry_points:
+            return
+        stop = {
+            qual
+            for qual, fn in analysis.functions.items()
+            if fn.name in REFRESH_SURFACE_NAMES
+        }
+        reached = analysis.reachable(entry_points, stop=stop)
+        entry_set = set(entry_points)
+        for qual in sorted(reached):
+            fn = analysis.functions[qual]
+            if "writes_device" not in direct_effects(fn, analysis):
+                continue
+            via = "" if qual in entry_set else " (reached through the call graph)"
+            yield Finding(
+                path=fn.rel_path,
+                line=fn.line,
+                col=fn.col,
+                rule_id=self.id,
+                message=(
+                    f"'{fn.name}' writes to a block device and is "
+                    f"reachable from QuerySession entry points{via}: "
+                    "route mutations through the refresh-job surface"
+                ),
+            )

@@ -4,6 +4,12 @@ The runner owns the expensive work (one ``ast.parse`` per file) and hands
 the shared :class:`ModuleContext` to each rule, so adding rules does not
 re-read or re-parse anything.  Suppression comments are applied here,
 after all rules ran, so individual rules never need to know about them.
+
+Robustness contract: a broken *input* (syntax error, undecodable bytes)
+or a broken *rule* (an exception escaping ``check``) must never abort the
+whole lint run -- each is converted into a diagnostic finding (``E000``
+for inputs, ``E999`` for rules) and the run continues, so one bad file
+cannot hide every other finding in the tree.
 """
 
 from __future__ import annotations
@@ -20,6 +26,8 @@ from repro.devtools.suppressions import SuppressionIndex, parse_suppressions
 __all__ = ["ModuleContext", "ProjectContext", "LintRunner", "run_lint", "default_root"]
 
 PARSE_ERROR_RULE = "E000"
+RULE_ERROR_RULE = "E999"
+UNUSED_SUPPRESSION_RULE = "META001"
 
 
 def default_root() -> Path:
@@ -48,10 +56,18 @@ class ModuleContext:
 
 @dataclass
 class ProjectContext:
-    """Whole-tree view handed to :class:`~repro.devtools.registry.ProjectRule`."""
+    """Whole-tree view handed to :class:`~repro.devtools.registry.ProjectRule`.
+
+    Project rules that need the whole-program analysis engine (symbol
+    table, call graph, effects) obtain it via
+    :func:`repro.devtools.callgraph.analyze_project`, which caches one
+    shared :class:`~repro.devtools.callgraph.ProjectAnalysis` here so the
+    expensive build happens once per lint run, however many rules use it.
+    """
 
     root: Path
     modules: list[ModuleContext] = field(default_factory=list)
+    _analysis: "object | None" = field(default=None, repr=False, compare=False)
 
     def module(self, rel_path: str) -> ModuleContext | None:
         for ctx in self.modules:
@@ -90,22 +106,39 @@ class LintRunner:
         else:
             self.rules = resolve_rules(rules)  # type: ignore[arg-type]
 
-    def run(self, paths: Sequence[Path | str] | None = None) -> list[Finding]:
-        targets = (
-            [Path(p).resolve() for p in paths] if paths else [self.root]
-        )
-        findings: list[Finding] = []
+    def build_project(
+        self, paths: Sequence[Path | str] | None = None
+    ) -> tuple[ProjectContext, list[Finding]]:
+        """Parse every target file once; return the tree view + input diagnostics.
+
+        Unparseable or undecodable files become ``E000`` findings rather
+        than exceptions, and are simply absent from the project view.
+        """
+        targets = [Path(p).resolve() for p in paths] if paths else [self.root]
+        diagnostics: list[Finding] = []
         project = ProjectContext(root=self.root)
         for path in _iter_python_files(targets):
             try:
                 rel = path.relative_to(self.root).as_posix()
             except ValueError:
                 rel = path.as_posix()
-            source = path.read_text(encoding="utf-8")
+            try:
+                source = path.read_text(encoding="utf-8")
+            except (UnicodeDecodeError, OSError) as exc:
+                diagnostics.append(
+                    Finding(
+                        path=rel,
+                        line=1,
+                        col=0,
+                        rule_id=PARSE_ERROR_RULE,
+                        message=f"could not read file: {exc}",
+                    )
+                )
+                continue
             try:
                 tree = ast.parse(source, filename=str(path))
             except SyntaxError as exc:
-                findings.append(
+                diagnostics.append(
                     Finding(
                         path=rel,
                         line=exc.lineno or 1,
@@ -115,22 +148,50 @@ class LintRunner:
                     )
                 )
                 continue
-            ctx = ModuleContext(
-                root=self.root,
-                path=path,
-                rel_path=rel,
-                source=source,
-                tree=tree,
-                suppressions=parse_suppressions(source),
+            project.modules.append(
+                ModuleContext(
+                    root=self.root,
+                    path=path,
+                    rel_path=rel,
+                    source=source,
+                    tree=tree,
+                    suppressions=parse_suppressions(source),
+                )
             )
-            project.modules.append(ctx)
+        return project, diagnostics
+
+    def run(self, paths: Sequence[Path | str] | None = None) -> list[Finding]:
+        project, findings = self.build_project(paths)
+        for ctx in project.modules:
             for rule in self.rules:
                 if isinstance(rule, ModuleRule):
-                    findings.extend(rule.check(ctx))
+                    findings.extend(self._checked(rule, ctx.rel_path, rule.check, ctx))
         for rule in self.rules:
             if isinstance(rule, ProjectRule):
-                findings.extend(rule.check_project(project))
-        return sorted(self._apply_suppressions(findings, project))
+                findings.extend(
+                    self._checked(rule, "<project>", rule.check_project, project)
+                )
+        kept = self._apply_suppressions(findings, project)
+        kept.extend(self._unused_suppressions(project))
+        return sorted(kept)
+
+    def _checked(self, rule: Rule, where: str, check, ctx) -> list[Finding]:
+        """Run one rule, converting any escaping exception into E999."""
+        try:
+            return list(check(ctx))
+        except Exception as exc:  # noqa: BLE001 - the whole point
+            return [
+                Finding(
+                    path=where,
+                    line=1,
+                    col=0,
+                    rule_id=RULE_ERROR_RULE,
+                    message=(
+                        f"rule {rule.id or type(rule).__name__} crashed: "
+                        f"{type(exc).__name__}: {exc}"
+                    ),
+                )
+            ]
 
     def _apply_suppressions(
         self, findings: Iterable[Finding], project: ProjectContext
@@ -143,6 +204,48 @@ class LintRunner:
                 continue
             kept.append(finding)
         return kept
+
+    def _unused_suppressions(self, project: ProjectContext) -> list[Finding]:
+        """META001: directives that silenced nothing during this run.
+
+        Only rules that actually ran are judged -- a ``disable=TIME001``
+        comment is not "unused" during a ``--rules ARG001`` run.  ``all``
+        directives are judged only when the run covered the full default
+        rule suite, for the same reason.
+        """
+        if not any(rule.id == UNUSED_SUPPRESSION_RULE for rule in self.rules):
+            return []
+        from repro.devtools.registry import all_rules
+
+        ran = {rule.id for rule in self.rules}
+        full_suite = ran >= set(all_rules())
+        findings = []
+        for ctx in project.modules:
+            for directive in ctx.suppressions.directives:
+                named = (directive.rules - {"all"}) & ran
+                unused = sorted(named - directive.used)
+                if "all" in directive.rules and full_suite and not directive.matched:
+                    unused.insert(0, "all")
+                if not unused:
+                    continue
+                finding = Finding(
+                    path=ctx.rel_path,
+                    line=directive.line,
+                    col=directive.col,
+                    rule_id=UNUSED_SUPPRESSION_RULE,
+                    message=(
+                        f"suppression of {', '.join(unused)} matched no finding "
+                        "this run: remove the stale directive (or fix its rule "
+                        "id / placement)"
+                    ),
+                )
+                # A META001 finding is itself suppressible (one level
+                # deep), but never by the very directive it reports on.
+                if not ctx.suppressions.is_suppressed(
+                    UNUSED_SUPPRESSION_RULE, directive.line, exclude=directive
+                ):
+                    findings.append(finding)
+        return findings
 
 
 def run_lint(

@@ -1,0 +1,123 @@
+"""SARIF 2.1.0 output for ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is the shape GitHub
+code scanning ingests: one ``run`` per tool invocation, a ``tool.driver``
+block describing the rules, and one ``result`` per finding with a
+``physicalLocation``.  Only the subset code scanning actually reads is
+emitted -- ``version``/``$schema``, rule metadata (id, short description,
+help text from the rationale), and results with region line/column.
+
+Two conventions differ from the internal :class:`Finding` model and are
+converted here:
+
+* SARIF columns are **1-based**; findings carry 0-based ``col`` straight
+  from ``ast`` node offsets, so ``startColumn = col + 1``;
+* results reference rules by ``ruleIndex`` into the driver's rule array,
+  so the rule list is emitted sorted and the index map built once.
+
+The output is deterministic for a given finding list: rules sorted by
+id, results in the findings' given (sorted) order, dict key order fixed
+by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.devtools.findings import Finding
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA", "to_sarif", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+TOOL_NAME = "repro-lint"
+
+
+def _rule_metadata(rule_ids: Sequence[str]) -> list[dict]:
+    """Driver rule descriptors for every rule id appearing in the results."""
+    from repro.devtools.registry import all_rules
+    from repro.devtools.runner import (
+        PARSE_ERROR_RULE,
+        RULE_ERROR_RULE,
+    )
+
+    registry = all_rules()
+    synthetic = {
+        PARSE_ERROR_RULE: "file could not be read or parsed",
+        RULE_ERROR_RULE: "a lint rule crashed while checking",
+    }
+    descriptors = []
+    for rule_id in rule_ids:
+        rule = registry.get(rule_id)
+        if rule is not None:
+            short, help_text = rule.title, rule.rationale
+        else:
+            short = synthetic.get(rule_id, rule_id)
+            help_text = short
+        descriptors.append(
+            {
+                "id": rule_id,
+                "name": rule_id,
+                "shortDescription": {"text": short},
+                "help": {"text": help_text},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return descriptors
+
+
+def to_sarif(findings: Iterable[Finding]) -> dict:
+    """The SARIF log object (as a plain dict) for *findings*."""
+    ordered = sorted(findings)
+    rule_ids = sorted({f.rule_id for f in ordered})
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = []
+    for finding in ordered:
+        results.append(
+            {
+                "ruleId": finding.rule_id,
+                "ruleIndex": rule_index[finding.rule_id],
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "rules": _rule_metadata(rule_ids),
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Iterable[Finding]) -> str:
+    """Serialised SARIF log, stable across runs for identical findings."""
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=False) + "\n"

@@ -11,6 +11,11 @@ Two forms are recognised, mirroring the usual linter conventions:
 ``all`` is accepted in place of a rule list.  Suppressions are parsed
 textually (not from the AST) so they also apply to findings on lines the
 parser attributes to a different node of a multi-line statement.
+
+Every directive records which rules it actually silenced during a run, so
+the runner can report *unused* suppressions (META001): a directive that
+suppressed nothing is either stale (the violation was fixed) or a typo
+(wrong rule id, wrong line) -- both worth surfacing.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
-__all__ = ["SuppressionIndex", "parse_suppressions"]
+__all__ = ["Directive", "SuppressionIndex", "parse_suppressions"]
 
 _DIRECTIVE = re.compile(
     r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
@@ -27,17 +32,67 @@ _DIRECTIVE = re.compile(
 
 
 @dataclass
+class Directive:
+    """One ``repro-lint`` comment, with usage tracking for META001."""
+
+    line: int
+    col: int
+    kind: str  # "disable" | "disable-file"
+    rules: frozenset[str]
+    #: rule ids this directive actually silenced during the current run
+    used: set[str] = field(default_factory=set)
+
+    @property
+    def matched(self) -> bool:
+        return bool(self.used)
+
+
+@dataclass
 class SuppressionIndex:
     """Parsed suppression directives for one file."""
 
-    file_wide: set[str] = field(default_factory=set)
-    by_line: dict[int, set[str]] = field(default_factory=dict)
+    directives: list[Directive] = field(default_factory=list)
 
-    def is_suppressed(self, rule_id: str, line: int) -> bool:
-        if "all" in self.file_wide or rule_id in self.file_wide:
-            return True
-        rules = self.by_line.get(line)
-        return rules is not None and ("all" in rules or rule_id in rules)
+    def _applicable(self, rule_id: str, line: int) -> "list[Directive]":
+        hits = []
+        for directive in self.directives:
+            if directive.kind == "disable" and directive.line != line:
+                continue
+            if "all" in directive.rules or rule_id in directive.rules:
+                hits.append(directive)
+        return hits
+
+    def is_suppressed(
+        self, rule_id: str, line: int, exclude: Directive | None = None
+    ) -> bool:
+        """True when a directive covers the finding; marks that directive used.
+
+        *exclude* exempts one directive from matching: META001 findings
+        about a directive must not be silenceable by that same directive
+        (``disable=all`` would otherwise hide its own staleness report).
+        """
+        hits = [d for d in self._applicable(rule_id, line) if d is not exclude]
+        for directive in hits:
+            directive.used.add(rule_id)
+        return bool(hits)
+
+    # Backwards-compatible views of the pre-directive representation.
+
+    @property
+    def file_wide(self) -> set[str]:
+        rules: set[str] = set()
+        for directive in self.directives:
+            if directive.kind == "disable-file":
+                rules |= directive.rules
+        return rules
+
+    @property
+    def by_line(self) -> dict[int, set[str]]:
+        lines: dict[int, set[str]] = {}
+        for directive in self.directives:
+            if directive.kind == "disable":
+                lines.setdefault(directive.line, set()).update(directive.rules)
+        return lines
 
 
 def parse_suppressions(source: str) -> SuppressionIndex:
@@ -47,9 +102,15 @@ def parse_suppressions(source: str) -> SuppressionIndex:
         match = _DIRECTIVE.search(text)
         if match is None:
             continue
-        rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
-        if match.group("kind") == "disable-file":
-            index.file_wide |= rules
-        else:
-            index.by_line.setdefault(lineno, set()).update(rules)
+        rules = frozenset(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        index.directives.append(
+            Directive(
+                line=lineno,
+                col=match.start(),
+                kind=match.group("kind"),
+                rules=rules,
+            )
+        )
     return index

@@ -1,0 +1,90 @@
+"""Baseline round-trip and the only-new-findings gate semantics."""
+
+import json
+
+import pytest
+
+from repro.devtools.baseline import (
+    filter_baselined,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.findings import Finding
+
+
+def f(path="core/a.py", line=1, col=0, rule="BAR001", message="msg"):
+    return Finding(path=path, line=line, col=col, rule_id=rule, message=message)
+
+
+def test_round_trip_preserves_fingerprint_counts(tmp_path):
+    findings = [f(line=1), f(line=9), f(rule="DET001", message="other")]
+    path = tmp_path / "lint_baseline.json"
+    write_baseline(path, findings)
+    accepted = load_baseline(path)
+    # Same path/rule/message at two lines is ONE fingerprint, count 2.
+    assert accepted == {
+        "core/a.py::BAR001::msg": 2,
+        "core/a.py::DET001::other": 1,
+    }
+
+
+def test_baselined_findings_are_absorbed_lines_ignored(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [f(line=3)])
+    accepted = load_baseline(path)
+    # The same violation moved by an edit above it: still absorbed.
+    assert filter_baselined([f(line=42)], accepted) == []
+
+
+def test_new_findings_pass_through(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [f()])
+    accepted = load_baseline(path)
+    fresh = filter_baselined([f(), f(rule="SRV001")], accepted)
+    assert [x.rule_id for x in fresh] == ["SRV001"]
+
+
+def test_count_overflow_fails_the_gate(tmp_path):
+    """A second identical violation in the same file is NEW, even though
+    its fingerprint matches -- counts keep the gate honest."""
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [f(line=1)])
+    accepted = load_baseline(path)
+    fresh = filter_baselined([f(line=1), f(line=7)], accepted)
+    assert len(fresh) == 1
+
+
+def test_fixed_findings_never_break_the_gate(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [f(), f(rule="SRV001")])
+    accepted = load_baseline(path)
+    # Debt shrank to zero findings: the gate stays green.
+    assert filter_baselined([], accepted) == []
+
+
+def test_unsupported_version_is_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "findings": {}}))
+    with pytest.raises(ValueError, match="version"):
+        load_baseline(path)
+
+
+def test_malformed_findings_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 1, "findings": [1, 2]}))
+    with pytest.raises(ValueError, match="findings"):
+        load_baseline(path)
+
+
+def test_baseline_file_is_stable_on_disk(tmp_path):
+    findings = [f(rule="SRV001"), f(rule="BAR001")]
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    write_baseline(a, findings)
+    write_baseline(b, list(reversed(findings)))
+    assert a.read_text() == b.read_text()
+    assert a.read_text().endswith("\n")
+
+
+def test_fingerprint_shape():
+    assert fingerprint(f()) == "core/a.py::BAR001::msg"

@@ -1,0 +1,261 @@
+"""Symbol table, call resolution and taint plumbing of the analysis engine."""
+
+import textwrap
+
+from repro.devtools.callgraph import GENERIC_ATTRS, analyze_project
+from repro.devtools.runner import LintRunner
+
+
+def analyze(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    project, diagnostics = LintRunner(root=root).build_project()
+    assert diagnostics == []
+    return analyze_project(project)
+
+
+def test_symbol_table_covers_functions_methods_and_nested_defs(tmp_path):
+    analysis = analyze(tmp_path, {
+        "core/mod.py": """\
+            def top():
+                def inner():
+                    return 1
+                return inner()
+
+            class Box:
+                def get_value(self):
+                    return 2
+        """,
+    })
+    assert set(analysis.functions) == {
+        "core/mod.py::top",
+        "core/mod.py::top.inner",
+        "core/mod.py::Box.get_value",
+    }
+    assert analysis.classes["core/mod.py::Box"].methods == {
+        "get_value": "core/mod.py::Box.get_value"
+    }
+    # The nested def is an edge from its parent.
+    assert analysis.callees("core/mod.py::top") == {"core/mod.py::top.inner"}
+
+
+def test_direct_call_resolution_through_imports(tmp_path):
+    analysis = analyze(tmp_path, {
+        "rng/source.py": """\
+            def make(seed):
+                return seed
+        """,
+        "core/algo.py": """\
+            from repro.rng.source import make
+            import repro.rng.source as src
+
+            def a(seed):
+                return make(seed)
+
+            def b(seed):
+                return src.make(seed)
+        """,
+    })
+    assert analysis.callees("core/algo.py::a") == {"rng/source.py::make"}
+    assert analysis.callees("core/algo.py::b") == {"rng/source.py::make"}
+    assert analysis.callers("rng/source.py::make") == {
+        "core/algo.py::a",
+        "core/algo.py::b",
+    }
+
+
+def test_typed_receiver_resolves_even_generic_method_names(tmp_path):
+    """``get`` is on the fallback blocklist; only the inferred attribute
+    type can resolve ``self._catalog.get`` to the project method."""
+    analysis = analyze(tmp_path, {
+        "serve/catalog.py": """\
+            class Catalog:
+                def get(self, name):
+                    return name
+        """,
+        "serve/session.py": """\
+            from repro.serve.catalog import Catalog
+
+            class Session:
+                def __init__(self, catalog: Catalog):
+                    self._catalog = catalog
+
+                def execute(self, name):
+                    return self._catalog.get(name)
+        """,
+    })
+    assert "get" in GENERIC_ATTRS
+    assert analysis.callees("serve/session.py::Session.execute") == {
+        "serve/catalog.py::Catalog.get"
+    }
+
+
+def test_virtual_dispatch_fans_out_to_overrides(tmp_path):
+    analysis = analyze(tmp_path, {
+        "core/refresh/base.py": """\
+            class Algorithm:
+                def refresh(self, sample):
+                    raise NotImplementedError
+        """,
+        "core/refresh/impls.py": """\
+            from repro.core.refresh.base import Algorithm
+
+            class Naive(Algorithm):
+                def refresh(self, sample):
+                    return 1
+
+            class Batch(Algorithm):
+                def refresh(self, sample):
+                    return 2
+        """,
+        "core/maint.py": """\
+            from repro.core.refresh.base import Algorithm
+
+            class Maintainer:
+                def __init__(self, algorithm: Algorithm):
+                    self._algorithm = algorithm
+
+                def run(self, sample):
+                    return self._algorithm.refresh(sample)
+        """,
+    })
+    assert analysis.callees("core/maint.py::Maintainer.run") == {
+        "core/refresh/base.py::Algorithm.refresh",
+        "core/refresh/impls.py::Naive.refresh",
+        "core/refresh/impls.py::Batch.refresh",
+    }
+    assert analysis.subclasses("core/refresh/base.py::Algorithm") == {
+        "core/refresh/impls.py::Naive",
+        "core/refresh/impls.py::Batch",
+    }
+
+
+def test_type_checking_guarded_imports_resolve_annotations(tmp_path):
+    analysis = analyze(tmp_path, {
+        "storage/pool.py": """\
+            class BufferPool:
+                def flush(self):
+                    return None
+        """,
+        "core/user.py": """\
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.storage.pool import BufferPool
+
+            def drain(pool: "BufferPool"):
+                return pool.flush()
+        """,
+    })
+    assert analysis.callees("core/user.py::drain") == {
+        "storage/pool.py::BufferPool.flush"
+    }
+
+
+def test_generic_attr_fallback_is_blocked_but_specific_names_resolve(tmp_path):
+    analysis = analyze(tmp_path, {
+        "storage/files.py": """\
+            class LogFile:
+                def append(self, e):
+                    return e
+
+                def scan_all(self):
+                    return []
+        """,
+        "core/maint.py": """\
+            def use(log, queue):
+                queue.append(1)
+                return log.scan_all()
+        """,
+    })
+    # ``append`` would be pure noise (list.append); ``scan_all`` is unique
+    # enough that the name-based edge is wanted.
+    assert analysis.callees("core/maint.py::use") == {
+        "storage/files.py::LogFile.scan_all"
+    }
+
+
+def test_rng_global_detection_and_cross_module_uses(tmp_path):
+    analysis = analyze(tmp_path, {
+        "experiments/noise.py": """\
+            from random import Random
+            _rng = Random(7)
+
+            def local_use():
+                return _rng.random()
+        """,
+        "core/imports_symbol.py": """\
+            from repro.experiments.noise import _rng
+
+            def use():
+                return _rng.random()
+        """,
+        "core/imports_module.py": """\
+            import repro.experiments.noise as noise
+
+            def use():
+                return noise._rng.random()
+        """,
+    })
+    assert analysis.rng_globals == {"experiments/noise.py::_rng": 2}
+    for qual in (
+        "experiments/noise.py::local_use",
+        "core/imports_symbol.py::use",
+        "core/imports_module.py::use",
+    ):
+        uses = analysis.functions[qual].rng_global_uses
+        assert [u[0] for u in uses] == ["experiments/noise.py::_rng"], qual
+
+
+def test_reachable_respects_stop_set(tmp_path):
+    analysis = analyze(tmp_path, {
+        "serve/flow.py": """\
+            def entry():
+                return middle()
+
+            def middle():
+                return leaf()
+
+            def leaf():
+                return 1
+        """,
+    })
+    assert analysis.reachable(["serve/flow.py::entry"]) == {
+        "serve/flow.py::entry",
+        "serve/flow.py::middle",
+        "serve/flow.py::leaf",
+    }
+    assert analysis.reachable(
+        ["serve/flow.py::entry"], stop={"serve/flow.py::middle"}
+    ) == {"serve/flow.py::entry"}
+
+
+def test_analysis_is_cached_on_the_project_context(tmp_path):
+    (tmp_path / "core").mkdir()
+    (tmp_path / "core" / "m.py").write_text("def f():\n    return 1\n")
+    project, _ = LintRunner(root=tmp_path).build_project()
+    assert analyze_project(project) is analyze_project(project)
+
+
+def test_to_json_dict_is_deterministic_and_effect_annotated(tmp_path):
+    files = {
+        "storage/dev.py": """\
+            def flush_barrier(device):
+                device.flush()
+        """,
+        "core/m.py": """\
+            from repro.storage.dev import flush_barrier
+
+            def commit(device):
+                flush_barrier(device)
+        """,
+    }
+    first = analyze(tmp_path, files).to_json_dict()
+    second = analyze(tmp_path / "again", files).to_json_dict()
+    assert first == second
+    assert first["functions"]["core/m.py::commit"]["calls"] == [
+        "storage/dev.py::flush_barrier"
+    ]
+    assert "may_flush" in first["functions"]["core/m.py::commit"]["effects"]

@@ -1,0 +1,167 @@
+"""Statement CFG construction and the dominance queries BAR001 builds on."""
+
+import ast
+import textwrap
+
+from repro.devtools.cfg import build_cfg
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+def node_at(cfg, line):
+    for node in cfg.nodes:
+        if node.line == line:
+            return node
+    raise AssertionError(f"no CFG node starts at line {line}")
+
+
+def test_straight_line_dominance_is_total_order(tmp_path=None):
+    cfg = cfg_of("""\
+        def f(a):
+            x = a + 1
+            y = x * 2
+            return y
+    """)
+    assert len(cfg.nodes) == 3
+    first, second, third = cfg.nodes
+    assert cfg.dominates(first.index, second.index)
+    assert cfg.dominates(second.index, third.index)
+    assert not cfg.dominates(third.index, first.index)
+    assert [n.index for n in cfg.strictly_dominating(third.index)] == [
+        first.index,
+        second.index,
+    ]
+
+
+def test_branch_body_does_not_dominate_the_join():
+    cfg = cfg_of("""\
+        def f(a):
+            if a:
+                prep()
+            commit()
+    """)
+    header = node_at(cfg, 2)
+    prep = node_at(cfg, 3)
+    commit = node_at(cfg, 4)
+    # The header dominates everything; the taken-branch body does not
+    # dominate the statement after the join -- BAR001's core distinction.
+    assert cfg.dominates(header.index, commit.index)
+    assert not cfg.dominates(prep.index, commit.index)
+
+
+def test_both_branches_rejoin_and_header_dominates():
+    cfg = cfg_of("""\
+        def f(a):
+            if a:
+                x = 1
+            else:
+                x = 2
+            return x
+    """)
+    ret = node_at(cfg, 6)
+    doms = {cfg.nodes[i].line for i in cfg.dominators(ret.index)}
+    assert doms == {2, 6}  # the if header and the return itself
+
+
+def test_loop_back_edge_and_break_exits():
+    cfg = cfg_of("""\
+        def f(items):
+            total = 0
+            for item in items:
+                total += item
+                if total > 10:
+                    break
+            return total
+    """)
+    loop = node_at(cfg, 3)
+    body = node_at(cfg, 4)
+    guard = node_at(cfg, 5)
+    brk = node_at(cfg, 6)
+    ret = node_at(cfg, 7)
+    # Header enters the body; the body's last statement (the if guard)
+    # flows back to the header; break flows to the return.
+    assert body.index in loop.succ
+    assert loop.index in guard.succ
+    assert ret.index in brk.succ
+    # The loop header dominates the return; the conditional break does not.
+    assert cfg.dominates(loop.index, ret.index)
+    assert not cfg.dominates(brk.index, ret.index)
+
+
+def test_return_cuts_fall_through():
+    cfg = cfg_of("""\
+        def f(a):
+            if a:
+                return 1
+            return 2
+    """)
+    early = node_at(cfg, 3)
+    late = node_at(cfg, 4)
+    assert late.index not in early.succ
+    assert not cfg.dominates(early.index, late.index)
+
+
+def test_try_body_does_not_dominate_handler():
+    cfg = cfg_of("""\
+        def f(device):
+            prepare()
+            try:
+                risky()
+            except ValueError:
+                recover()
+            return 1
+    """)
+    prepare = node_at(cfg, 2)
+    risky = node_at(cfg, 4)
+    recover = node_at(cfg, 6)
+    ret = node_at(cfg, 7)
+    # prepare dominates everything downstream; the try body does not
+    # dominate the handler (the exception may leave it mid-statement).
+    assert cfg.dominates(prepare.index, recover.index)
+    assert cfg.dominates(prepare.index, ret.index)
+    assert not cfg.dominates(risky.index, ret.index)
+
+
+def test_with_body_flows_through_the_header():
+    cfg = cfg_of("""\
+        def f(lock):
+            with lock:
+                work()
+            return 1
+    """)
+    header = node_at(cfg, 2)
+    work = node_at(cfg, 3)
+    ret = node_at(cfg, 4)
+    assert cfg.dominates(header.index, work.index)
+    assert cfg.dominates(work.index, ret.index)
+
+
+def test_containing_finds_the_innermost_statement():
+    source = textwrap.dedent("""\
+        def f(a, store):
+            if a:
+                store.save(a)
+            return 1
+    """)
+    tree = ast.parse(source)
+    func = tree.body[0]
+    cfg = build_cfg(func)
+    call = next(n for n in ast.walk(func) if isinstance(n, ast.Call))
+    node = cfg.containing(call)
+    assert node is not None
+    assert node.line == 3  # the Expr statement, not the if header
+
+
+def test_empty_body_yields_empty_cfg():
+    cfg = cfg_of("""\
+        def f():
+            ...
+    """)
+    # The ellipsis constant is one statement; dominators are well-formed.
+    assert len(cfg.nodes) == 1
+    assert cfg.dominators(0) == {0}

@@ -1,0 +1,60 @@
+"""Registry <-> documentation drift guard.
+
+Every registered rule must have a row in docs/static_analysis.md's rule
+table. The doc is the contract users read before trusting a finding or
+writing a suppression; an undocumented rule is indistinguishable from a
+bug in the linter.
+"""
+
+import re
+from pathlib import Path
+
+from repro.devtools.registry import all_rules
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "static_analysis.md"
+
+
+def _documented_rule_rows():
+    """Rule ids appearing as the first cell of a table row."""
+    rows = set()
+    for line in DOC.read_text(encoding="utf-8").splitlines():
+        match = re.match(r"\|\s*`([A-Z]+[0-9]{3})`\s*\|", line)
+        if match:
+            rows.add(match.group(1))
+    return rows
+
+
+def test_every_registered_rule_has_a_docs_row():
+    registered = set(all_rules())
+    documented = _documented_rule_rows()
+    missing = registered - documented
+    assert not missing, (
+        f"rules registered but missing from docs/static_analysis.md: "
+        f"{sorted(missing)} -- add a table row describing scope and "
+        "invariant"
+    )
+
+
+def test_documented_rows_are_not_phantoms():
+    """The inverse direction: a documented row must name a real rule, so
+    the doc cannot keep advertising a rule that was removed."""
+    registered = set(all_rules())
+    phantoms = _documented_rule_rows() - registered
+    assert not phantoms, (
+        f"docs/static_analysis.md documents unregistered rules: "
+        f"{sorted(phantoms)}"
+    )
+
+
+def test_doc_mentions_the_synthetic_diagnostics():
+    text = DOC.read_text(encoding="utf-8")
+    assert "E000" in text
+    assert "E999" in text
+
+
+def test_rule_titles_appear_verbatim_or_doc_is_self_sufficient():
+    """Every rule's one-line title should be inferable from the doc: the
+    row must mention the rule's scope-defining keyword."""
+    text = DOC.read_text(encoding="utf-8")
+    for rule_id, rule in sorted(all_rules().items()):
+        assert rule.id in text, rule_id

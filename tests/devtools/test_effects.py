@@ -1,0 +1,195 @@
+"""Direct and transitive effect inference, on fixtures and the real tree."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.callgraph import analyze_project
+from repro.devtools.runner import LintRunner
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def analyze(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    project, diagnostics = LintRunner(root=root).build_project()
+    assert diagnostics == []
+    return analyze_project(project)
+
+
+def test_direct_effects_from_call_site_shapes(tmp_path):
+    analysis = analyze(tmp_path, {
+        "storage/mixed.py": """\
+            import time
+
+            def reader(device):
+                return device.read_block(0, sequential=True)
+
+            def writer(device, data):
+                device.write_block(0, data, sequential=True)
+
+            def barrier(device):
+                device.flush_barrier()
+
+            def timed():
+                return time.perf_counter()
+
+            def counting(metric):
+                metric.inc()
+
+            def failing(x):
+                if x < 0:
+                    raise ValueError(x)
+                return x
+        """,
+    })
+    effects = analysis.effects
+    assert effects["storage/mixed.py::reader"] == {
+        "reads_device", "touches_device",
+    }
+    assert effects["storage/mixed.py::writer"] == {
+        "writes_device", "touches_device",
+    }
+    assert effects["storage/mixed.py::barrier"] == {"may_flush"}
+    assert effects["storage/mixed.py::timed"] == {"reads_wall_clock"}
+    assert effects["storage/mixed.py::counting"] == {"emits_metric"}
+    assert effects["storage/mixed.py::failing"] == {"may_raise"}
+
+
+def test_from_import_clock_names_are_detected(tmp_path):
+    analysis = analyze(tmp_path, {
+        "experiments/bench.py": """\
+            from time import perf_counter as tick
+
+            def stamp():
+                return tick()
+        """,
+    })
+    assert analysis.effects["experiments/bench.py::stamp"] == {
+        "reads_wall_clock"
+    }
+
+
+def test_rng_package_functions_are_intrinsically_rng(tmp_path):
+    analysis = analyze(tmp_path, {
+        "rng/source.py": """\
+            def next_float(state):
+                return state
+        """,
+        "core/algo.py": """\
+            from repro.rng.source import next_float
+
+            def accept(state):
+                return next_float(state) < 0.5
+        """,
+    })
+    assert "draws_rng" in analysis.effects["rng/source.py::next_float"]
+    # ...and the taint propagates to the caller.
+    assert "draws_rng" in analysis.effects["core/algo.py::accept"]
+
+
+def test_transitive_propagation_through_a_chain(tmp_path):
+    analysis = analyze(tmp_path, {
+        "storage/dev.py": """\
+            def flush_barrier(device):
+                device.flush()
+        """,
+        "core/a.py": """\
+            from repro.storage.dev import flush_barrier
+
+            def low(device):
+                flush_barrier(device)
+
+            def mid(device):
+                low(device)
+
+            def high(device):
+                mid(device)
+        """,
+    })
+    for qual in ("core/a.py::low", "core/a.py::mid", "core/a.py::high"):
+        assert "may_flush" in analysis.effects[qual], qual
+    # No phantom effects appear along the way.
+    assert "writes_device" not in analysis.effects["core/a.py::high"]
+
+
+def test_effects_propagate_through_virtual_dispatch(tmp_path):
+    analysis = analyze(tmp_path, {
+        "core/base.py": """\
+            class Algorithm:
+                def refresh(self, device):
+                    raise NotImplementedError
+        """,
+        "core/impl.py": """\
+            from repro.core.base import Algorithm
+
+            class Writer(Algorithm):
+                def refresh(self, device):
+                    device.write_block(0, b"x", sequential=True)
+        """,
+        "core/driver.py": """\
+            from repro.core.base import Algorithm
+
+            def run(algorithm: Algorithm, device):
+                algorithm.refresh(device)
+        """,
+    })
+    # The base raises; the override writes; the caller may do either.
+    effects = analysis.effects["core/driver.py::run"]
+    assert "writes_device" in effects
+    assert "may_raise" in effects
+
+
+@pytest.fixture(scope="module")
+def real_tree():
+    project, diagnostics = LintRunner(root=SRC).build_project()
+    assert diagnostics == []
+    return analyze_project(project)
+
+
+def test_real_tree_refresh_carries_flush_and_device_effects(real_tree):
+    effects = real_tree.effects["core/maintenance.py::SampleMaintainer.refresh"]
+    assert "may_flush" in effects
+    assert "writes_device" in effects
+    assert "draws_rng" in effects
+
+
+def test_real_tree_checkpoint_state_flushes(real_tree):
+    effects = real_tree.effects[
+        "core/maintenance.py::SampleMaintainer.checkpoint_state"
+    ]
+    assert "may_flush" in effects
+
+
+def test_real_tree_query_read_path_never_writes_devices(real_tree):
+    """The ISSUE's contract check: everything reachable from QuerySession
+    entry points -- short of the refresh hand-off -- stays read-only."""
+    from repro.devtools.effects import direct_effects
+
+    entry_points = sorted(
+        method_qual
+        for cls in real_tree.classes.values()
+        if cls.name == "QuerySession"
+        for name, method_qual in cls.methods.items()
+        if not name.startswith("_")
+    )
+    assert entry_points, "QuerySession entry points must exist in the tree"
+    stop = {
+        qual
+        for qual, fn in real_tree.functions.items()
+        if fn.name == "refresh"
+    }
+    for qual in sorted(real_tree.reachable(entry_points, stop=stop)):
+        fn = real_tree.functions[qual]
+        assert "writes_device" not in direct_effects(fn, real_tree), qual
+
+
+def test_real_tree_superblock_save_writes_and_flushes(real_tree):
+    effects = real_tree.effects[
+        "storage/superblock.py::DualSlotCheckpointStore.save"
+    ]
+    assert {"writes_device", "may_flush"} <= set(effects)

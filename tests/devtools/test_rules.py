@@ -514,3 +514,306 @@ def test_findings_are_sorted_by_location(tmp_path):
         ("core/a.py", 2),
         ("core/refresh/z.py", 2),
     ]
+
+
+# ---------------------------------------------------------------------------
+# DET001 (interprocedural RNG taint)
+# ---------------------------------------------------------------------------
+
+
+def test_det001_flags_module_global_rng_in_scope(tmp_path):
+    make_tree(tmp_path, {
+        "core/bad.py": """\
+            from repro.rng.source import RandomSource
+            _shared = RandomSource(42)
+            def pick(items):
+                return items[_shared.next_int(len(items))]
+        """,
+    })
+    findings = lint(tmp_path, rules=["DET001"])
+    # The binding itself, and the function that reads it.
+    assert [(f.rule_id, f.line) for f in findings] == [
+        ("DET001", 2), ("DET001", 4),
+    ]
+    assert "_shared" in findings[1].message
+
+
+def test_det001_interprocedural_taint_across_packages(tmp_path):
+    """The global lives OUTSIDE the scoped dirs; core/ reaches it only
+    through a call chain -- exactly what per-file rules cannot see."""
+    make_tree(tmp_path, {
+        "experiments/helpers.py": """\
+            from random import Random
+            _rng = Random(7)
+            def jitter():
+                return _rng.random()
+        """,
+        "core/uses.py": """\
+            from repro.experiments.helpers import jitter
+            def decide():
+                return jitter() < 0.5
+        """,
+    })
+    findings = lint(tmp_path, rules=["DET001"])
+    assert [(f.path, f.rule_id, f.line) for f in findings] == [
+        ("core/uses.py", "DET001", 3),
+    ]
+    assert "jitter" in findings[0].message
+    assert "experiments/helpers.py::_rng" in findings[0].message
+
+
+def test_det001_clean_for_local_rng_and_out_of_scope_globals(tmp_path):
+    make_tree(tmp_path, {
+        # Function-local construction from an explicit seed is the blessed
+        # pattern.
+        "serve/sim.py": """\
+            from random import Random
+            def simulate(seed):
+                rng = Random(seed)
+                return rng.random()
+        """,
+        # A module-global in experiments/ used only by experiments/ never
+        # enters the deterministic packages.
+        "experiments/noise.py": """\
+            from random import Random
+            _rng = Random(1)
+            def sample():
+                return _rng.random()
+        """,
+    })
+    assert lint(tmp_path, rules=["DET001"]) == []
+
+
+# ---------------------------------------------------------------------------
+# BAR001 (flush barrier dominates superblock commit)
+# ---------------------------------------------------------------------------
+
+_STORE = """\
+    from repro.storage.device import flush_barrier
+    class DualSlotCheckpointStore:
+        def save(self, state):
+            self._device.write_block(0, state, sequential=False)
+            flush_barrier(self._device)
+"""
+
+
+def test_bar001_flags_commit_without_barrier(tmp_path):
+    make_tree(tmp_path, {
+        "storage/superblock.py": _STORE,
+        "core/maint.py": """\
+            def checkpoint(store, device, state):
+                device.write_block(1, state, sequential=True)
+                return store.save(state)
+        """,
+    })
+    findings = lint(tmp_path, rules=["BAR001"])
+    assert [(f.path, f.rule_id, f.line) for f in findings] == [
+        ("core/maint.py", "BAR001", 3),
+    ]
+    assert "not dominated by a flush" in findings[0].message
+
+
+def test_bar001_branch_local_flush_does_not_dominate(tmp_path):
+    make_tree(tmp_path, {
+        "storage/superblock.py": _STORE,
+        "core/maint.py": """\
+            from repro.storage.device import flush_barrier
+            def checkpoint(store, device, state, fast):
+                if fast:
+                    flush_barrier(device)
+                return store.save(state)
+        """,
+    })
+    # The flush runs on only one path; the commit is not protected.
+    assert ids(lint(tmp_path, rules=["BAR001"])) == ["BAR001"]
+
+
+def test_bar001_clean_with_dominating_flush(tmp_path):
+    make_tree(tmp_path, {
+        "storage/superblock.py": _STORE,
+        "core/maint.py": """\
+            from repro.storage.device import flush_barrier
+            def checkpoint(store, device, state):
+                flush_barrier(device)
+                return store.save(state)
+        """,
+    })
+    assert lint(tmp_path, rules=["BAR001"]) == []
+
+
+def test_bar001_interprocedural_flush_through_callee(tmp_path):
+    """The barrier lives two calls deep (checkpoint_state ->
+    _flush_devices -> flush_barrier) and is evaluated in the commit
+    statement's argument position -- only transitive effects see it."""
+    make_tree(tmp_path, {
+        "storage/superblock.py": _STORE,
+        "core/maint.py": """\
+            from repro.storage.device import flush_barrier
+            from repro.storage.superblock import DualSlotCheckpointStore
+
+            class Maintainer:
+                def _flush_devices(self):
+                    flush_barrier(self._device)
+
+                def checkpoint_state(self):
+                    self._flush_devices()
+                    return b"state"
+
+                def commit(self, store: DualSlotCheckpointStore):
+                    store.save(self.checkpoint_state())
+        """,
+    })
+    assert lint(tmp_path, rules=["BAR001"]) == []
+
+
+def test_bar001_interprocedural_non_flushing_helper_still_flagged(tmp_path):
+    make_tree(tmp_path, {
+        "storage/superblock.py": _STORE,
+        "core/maint.py": """\
+            from repro.storage.superblock import DualSlotCheckpointStore
+
+            class Maintainer:
+                def serialize(self):
+                    return b"state"
+
+                def commit(self, store: DualSlotCheckpointStore):
+                    store.save(self.serialize())
+        """,
+    })
+    findings = lint(tmp_path, rules=["BAR001"])
+    assert [(f.rule_id, f.line) for f in findings] == [("BAR001", 8)]
+
+
+# ---------------------------------------------------------------------------
+# SRV001 (no device writes on the serve read path)
+# ---------------------------------------------------------------------------
+
+
+def test_srv001_flags_write_in_entry_point(tmp_path):
+    make_tree(tmp_path, {
+        "serve/session.py": """\
+            class QuerySession:
+                def drop(self, device):
+                    device.discard(0)
+        """,
+    })
+    findings = lint(tmp_path, rules=["SRV001"])
+    assert [(f.rule_id, f.line) for f in findings] == [("SRV001", 2)]
+    assert "drop" in findings[0].message
+
+
+def test_srv001_interprocedural_write_through_helper(tmp_path):
+    """The write hides in a helper the session only reaches through the
+    call graph; the helper's own file looks innocent to per-file rules."""
+    make_tree(tmp_path, {
+        "serve/cache.py": """\
+            def evict(device):
+                device.poke_block(0, b"x")
+        """,
+        "serve/session.py": """\
+            from repro.serve.cache import evict
+            class QuerySession:
+                def execute(self, device, q):
+                    evict(device)
+                    return q
+        """,
+    })
+    findings = lint(tmp_path, rules=["SRV001"])
+    assert [(f.path, f.rule_id, f.line) for f in findings] == [
+        ("serve/cache.py", "SRV001", 1),
+    ]
+    assert "reached through the call graph" in findings[0].message
+
+
+def test_srv001_clean_reads_and_refresh_surface(tmp_path):
+    make_tree(tmp_path, {
+        "serve/session.py": """\
+            class Maintainer:
+                def refresh(self, device):
+                    device.write_block(0, b"d", sequential=True)
+
+            class QuerySession:
+                def execute(self, m: Maintainer, device):
+                    m.refresh(device)
+                    return device.read_block(0, sequential=True)
+        """,
+    })
+    # Writes behind the refresh surface are the sanctioned hand-off;
+    # the session's own reads are fine.
+    assert lint(tmp_path, rules=["SRV001"]) == []
+
+
+def test_srv001_ignores_private_methods_as_roots(tmp_path):
+    make_tree(tmp_path, {
+        "serve/session.py": """\
+            class QuerySession:
+                def _rebuild(self, device):
+                    device.poke_block(0, b"x")
+        """,
+    })
+    # A private method is not an entry point, and nothing public reaches it.
+    assert lint(tmp_path, rules=["SRV001"]) == []
+
+
+# ---------------------------------------------------------------------------
+# META001 (unused suppressions)
+# ---------------------------------------------------------------------------
+
+
+def test_meta001_flags_suppression_that_matches_nothing(tmp_path):
+    make_tree(tmp_path, {
+        "core/clean.py": """\
+            def f(sample, e):
+                return e  # repro-lint: disable=IO001
+        """,
+    })
+    findings = lint(tmp_path, rules=["IO001", "META001"])
+    assert [(f.rule_id, f.line) for f in findings] == [("META001", 2)]
+    assert "IO001" in findings[0].message
+
+
+def test_meta001_silent_when_suppression_is_used(tmp_path):
+    make_tree(tmp_path, {
+        "core/refresh/naive.py": """\
+            def refresh(sample, e):
+                sample.write_random(0, e)  # repro-lint: disable=IO001
+        """,
+    })
+    assert lint(tmp_path, rules=["IO001", "META001"]) == []
+
+
+def test_meta001_only_judges_rules_that_ran(tmp_path):
+    make_tree(tmp_path, {
+        "core/clean.py": """\
+            def f():
+                return 1  # repro-lint: disable=TIME001
+        """,
+    })
+    # TIME001 did not run, so the directive's fate is unknown: no finding.
+    assert lint(tmp_path, rules=["ARG001", "META001"]) == []
+    # Under a run that includes TIME001 the directive is provably unused.
+    assert ids(lint(tmp_path, rules=["TIME001", "META001"])) == ["META001"]
+
+
+def test_meta001_not_emitted_unless_selected(tmp_path):
+    make_tree(tmp_path, {
+        "core/clean.py": """\
+            def f():
+                return 1  # repro-lint: disable=IO001
+        """,
+    })
+    assert lint(tmp_path, rules=["IO001"]) == []
+
+
+def test_meta001_disable_all_judged_only_under_full_suite(tmp_path):
+    make_tree(tmp_path, {
+        "core/clean.py": """\
+            def f():
+                return 1  # repro-lint: disable=all
+        """,
+    })
+    # A partial run cannot prove an ``all`` directive unused.
+    assert lint(tmp_path, rules=["IO001", "META001"]) == []
+    # The full default suite can.
+    findings = lint(tmp_path)
+    assert ids(findings) == ["META001"]

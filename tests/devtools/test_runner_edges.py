@@ -1,0 +1,126 @@
+"""Runner robustness: broken inputs and broken rules degrade to findings.
+
+The contract under test (see :mod:`repro.devtools.runner`): nothing a
+user puts in the tree -- and nothing a rule author gets wrong -- may
+abort a lint run.  Syntax errors and undecodable files become ``E000``,
+a rule that raises becomes ``E999``, and every *other* file and rule
+still gets checked.
+"""
+
+import textwrap
+
+from repro.devtools import LintRunner, run_lint
+from repro.devtools.registry import ModuleRule, ProjectRule
+from repro.devtools.runner import PARSE_ERROR_RULE, RULE_ERROR_RULE
+
+
+def make_tree(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if isinstance(source, bytes):
+            path.write_bytes(source)
+        else:
+            path.write_text(textwrap.dedent(source))
+    return root
+
+
+def test_syntax_error_yields_e000_with_location(tmp_path):
+    make_tree(tmp_path, {"core/broken.py": "def f(:\n"})
+    findings = run_lint(root=tmp_path)
+    assert [(f.rule_id, f.path) for f in findings] == [
+        (PARSE_ERROR_RULE, "core/broken.py")
+    ]
+    assert findings[0].line == 1
+    assert "could not parse" in findings[0].message
+
+
+def test_empty_file_is_fine(tmp_path):
+    make_tree(tmp_path, {"core/empty.py": ""})
+    assert run_lint(root=tmp_path) == []
+
+
+def test_non_utf8_bytes_yield_e000(tmp_path):
+    make_tree(tmp_path, {"core/binary.py": b"x = '\xff\xfe\x00'\n"})
+    findings = run_lint(root=tmp_path)
+    assert [(f.rule_id, f.path) for f in findings] == [
+        (PARSE_ERROR_RULE, "core/binary.py")
+    ]
+    assert "could not read" in findings[0].message
+
+
+def test_broken_file_does_not_hide_findings_elsewhere(tmp_path):
+    make_tree(tmp_path, {
+        "core/broken.py": "def f(:\n",
+        "dbms/api.py": """\
+            def insert(rows=[]):
+                return rows
+        """,
+    })
+    findings = run_lint(root=tmp_path)
+    assert sorted(f.rule_id for f in findings) == ["ARG001", PARSE_ERROR_RULE]
+
+
+class _ExplodingModuleRule(ModuleRule):
+    id = "XPL001"
+    title = "always explodes"
+    rationale = "test fixture"
+
+    def check(self, ctx):
+        raise RuntimeError("boom")
+
+
+class _ExplodingProjectRule(ProjectRule):
+    id = "XPL002"
+    title = "explodes project-wide"
+    rationale = "test fixture"
+
+    def check_project(self, ctx):
+        raise ZeroDivisionError("kaboom")
+
+
+def test_raising_module_rule_becomes_e999_per_module(tmp_path):
+    make_tree(tmp_path, {"core/a.py": "x = 1\n", "core/b.py": "y = 2\n"})
+    runner = LintRunner(root=tmp_path, rules=[_ExplodingModuleRule()])
+    findings = runner.run()
+    assert [(f.rule_id, f.path) for f in findings] == [
+        (RULE_ERROR_RULE, "core/a.py"),
+        (RULE_ERROR_RULE, "core/b.py"),
+    ]
+    assert "XPL001" in findings[0].message
+    assert "boom" in findings[0].message
+
+
+def test_raising_project_rule_becomes_one_e999(tmp_path):
+    make_tree(tmp_path, {"core/a.py": "x = 1\n"})
+    runner = LintRunner(root=tmp_path, rules=[_ExplodingProjectRule()])
+    findings = runner.run()
+    assert [(f.rule_id, f.path) for f in findings] == [
+        (RULE_ERROR_RULE, "<project>")
+    ]
+    assert "ZeroDivisionError" in findings[0].message
+
+
+def test_raising_rule_does_not_starve_healthy_rules(tmp_path):
+    make_tree(tmp_path, {
+        "dbms/api.py": """\
+            def insert(rows=[]):
+                return rows
+        """,
+    })
+    from repro.devtools.registry import all_rules
+
+    healthy = all_rules()["ARG001"]
+    runner = LintRunner(root=tmp_path, rules=[_ExplodingModuleRule(), healthy])
+    findings = runner.run()
+    assert sorted(f.rule_id for f in findings) == ["ARG001", RULE_ERROR_RULE]
+
+
+def test_build_project_reports_diagnostics_separately(tmp_path):
+    make_tree(tmp_path, {
+        "core/ok.py": "x = 1\n",
+        "core/broken.py": "def f(:\n",
+    })
+    project, diagnostics = LintRunner(root=tmp_path).build_project()
+    assert [ctx.rel_path for ctx in project.modules] == ["core/ok.py"]
+    assert [f.rule_id for f in diagnostics] == [PARSE_ERROR_RULE]

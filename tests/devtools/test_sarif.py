@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 output shape: the subset GitHub code scanning consumes."""
+
+import json
+
+from repro.devtools.findings import Finding
+from repro.devtools.sarif import SARIF_SCHEMA, SARIF_VERSION, render_sarif, to_sarif
+
+
+def _findings():
+    return [
+        Finding(
+            path="core/maintenance.py",
+            line=10,
+            col=4,
+            rule_id="BAR001",
+            message="commit not dominated by a flush barrier",
+        ),
+        Finding(
+            path="serve/session.py",
+            line=3,
+            col=0,
+            rule_id="SRV001",
+            message="device write on the read path",
+        ),
+        Finding(
+            path="core/maintenance.py",
+            line=2,
+            col=0,
+            rule_id="DET001",
+            message="module-global RNG reachable",
+        ),
+    ]
+
+
+def test_top_level_log_shape():
+    log = to_sarif(_findings())
+    assert log["version"] == SARIF_VERSION == "2.1.0"
+    assert log["$schema"] == SARIF_SCHEMA
+    assert len(log["runs"]) == 1
+    run = log["runs"][0]
+    assert set(run) == {"tool", "columnKind", "results"}
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+
+
+def test_driver_rules_carry_registry_metadata():
+    log = to_sarif(_findings())
+    rules = log["runs"][0]["tool"]["driver"]["rules"]
+    assert [r["id"] for r in rules] == ["BAR001", "DET001", "SRV001"]
+    for rule in rules:
+        assert rule["shortDescription"]["text"]
+        assert rule["help"]["text"]
+        assert rule["defaultConfiguration"] == {"level": "error"}
+    bar = rules[0]
+    assert "flush barrier" in bar["shortDescription"]["text"]
+
+
+def test_results_reference_rules_by_index_and_are_sorted():
+    log = to_sarif(_findings())
+    rules = log["runs"][0]["tool"]["driver"]["rules"]
+    results = log["runs"][0]["results"]
+    # Findings sort by (path, line, col, rule): DET001 first.
+    assert [r["ruleId"] for r in results] == ["DET001", "BAR001", "SRV001"]
+    for result in results:
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+        assert result["level"] == "error"
+        assert result["message"]["text"]
+
+
+def test_locations_are_one_based_columns():
+    log = to_sarif(_findings())
+    result = log["runs"][0]["results"][1]  # BAR001 at line 10, col 4
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "core/maintenance.py"
+    assert location["artifactLocation"]["uriBaseId"] == "SRCROOT"
+    # ast columns are 0-based; SARIF startColumn is 1-based.
+    assert location["region"] == {"startLine": 10, "startColumn": 5}
+
+
+def test_synthetic_rules_get_descriptors_too():
+    findings = [
+        Finding(path="core/x.py", line=1, col=0, rule_id="E000",
+                message="could not parse file: invalid syntax"),
+    ]
+    rules = to_sarif(findings)["runs"][0]["tool"]["driver"]["rules"]
+    assert rules[0]["id"] == "E000"
+    assert "parsed" in rules[0]["shortDescription"]["text"]
+
+
+def test_empty_findings_still_emit_a_valid_run():
+    log = to_sarif([])
+    assert log["runs"][0]["results"] == []
+    assert log["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+def test_render_is_deterministic_json():
+    first = render_sarif(_findings())
+    second = render_sarif(list(reversed(_findings())))
+    assert first == second
+    assert first.endswith("\n")
+    assert json.loads(first)["version"] == "2.1.0"
