@@ -354,3 +354,40 @@ def test_lint_project_runtime(benchmark):
     # The run doubles as the cleanliness check at bench time.
     assert findings == []
     assert functions_analyzed > 500
+
+
+def test_serve_trace_overhead(benchmark, tmp_path):
+    """Fully instrumented serve-sim: the observability layer's price tag.
+
+    Runs the serving simulation with every observability feature on --
+    span streaming to JSONL, per-block storage spans, SLO tracking and
+    time-series sampling -- so the benchmark pays the worst-case
+    bookkeeping cost per event.  ``elements_per_sec`` is scheduler
+    events per second; ``repro bench-compare`` gates it (the default
+    select matches ``trace``) so a regression in the span or SLO hot
+    path fails CI rather than quietly taxing every traced run.
+    """
+    from repro.obs import Instrumentation
+    from repro.serve.sim import SimConfig, run_simulation
+
+    events = 200
+    config = SimConfig(
+        seed=7,
+        samples=2,
+        events=events,
+        sample_size=128,
+        policy="deadline:128",
+        pool_capacity=32,
+        slos=("latency:0.2:0.9", "shed_rate:0.05"),
+        timeseries_interval=0.5,
+        trace_path=str(tmp_path / "bench-trace.jsonl"),
+    )
+
+    def run():
+        return run_simulation(config, instrumentation=Instrumentation())
+
+    report = benchmark(run)
+    benchmark.extra_info["elements"] = events
+    benchmark.extra_info["elements_per_sec"] = events / benchmark.stats.stats.mean
+    assert report.events == events
+    assert report.slo["objectives"]

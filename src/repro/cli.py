@@ -101,6 +101,10 @@ def _build_parser() -> argparse.ArgumentParser:
     from repro.serve.cli import add_serve_sim_parser
 
     add_serve_sim_parser(sub)
+
+    from repro.obs.trace_cli import add_trace_parser
+
+    add_trace_parser(sub)
     return parser
 
 
@@ -139,6 +143,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.cli import run_serve_sim_command
 
         return run_serve_sim_command(args)
+
+    if args.command == "trace":
+        from repro.obs.trace_cli import run_trace_command
+
+        return run_trace_command(args)
 
     if args.command == "validate":
         from repro.experiments.validation import validate_engine

@@ -415,26 +415,29 @@ class SampleMaintainer:
         """
         from repro.storage.superblock import MaintenanceCheckpoint
 
-        online_mark = self._checkpoint()
-        pending = None
-        if self._candidate_logger is not None:
-            self._candidate_logger.log.flush()
-            log_count = len(self._candidate_logger.log)
-            dataset_at_refresh = self._candidate_logger.dataset_size
-            pending = self._candidate_logger._sampler.pending_accept
-        elif self._full_logger is not None:
-            self._full_logger.log.flush()
-            log_count = len(self._full_logger.log)
-            dataset_at_refresh = self._full_logger.dataset_size_at_last_refresh
-        else:
-            log_count = 0
-            dataset_at_refresh = self._reservoir.seen
-            pending = self._reservoir.pending_accept
-        # Checkpoint point: the snapshot describes on-device state, so any
-        # buffered sample/log writes must reach the device first (barriers
-        # are free on plain devices, booked online like the log flush).
-        self._flush_devices()
-        self._charge_online(online_mark)
+        with maybe_span(self._instr, "maintenance.checkpoint") as span:
+            online_mark = self._checkpoint()
+            pending = None
+            if self._candidate_logger is not None:
+                self._candidate_logger.log.flush()
+                log_count = len(self._candidate_logger.log)
+                dataset_at_refresh = self._candidate_logger.dataset_size
+                pending = self._candidate_logger._sampler.pending_accept
+            elif self._full_logger is not None:
+                self._full_logger.log.flush()
+                log_count = len(self._full_logger.log)
+                dataset_at_refresh = self._full_logger.dataset_size_at_last_refresh
+            else:
+                log_count = 0
+                dataset_at_refresh = self._reservoir.seen
+                pending = self._reservoir.pending_accept
+            # Checkpoint point: the snapshot describes on-device state, so any
+            # buffered sample/log writes must reach the device first (barriers
+            # are free on plain devices, booked online like the log flush).
+            self._flush_devices()
+            self._charge_online(online_mark)
+            if span is not None:
+                span.set("log_count", log_count)
         seed, spawn_count, state, w = MaintenanceCheckpoint.capture_rng(self._rng)
         return MaintenanceCheckpoint(
             strategy=self._strategy,

@@ -8,6 +8,15 @@ but only on code paths a test happens to execute; the lint makes the
 telemetry surface statically complete, so a renamed or invented metric
 cannot ship silently.  Names built at runtime (non-literal first
 arguments) are out of static reach and left to the runtime check.
+
+The same discipline covers **trace spans** under ``serve/`` and
+``storage/``: every ``span("...")`` / ``maybe_span(obs, "...")`` site
+with a literal name must name a span declared in the catalogue's
+``SPANS`` dict, because the ``repro trace`` tooling and the SLO report
+key on those names.  Core modules are exempt from the span check for
+now -- their legacy single-segment names (``insert``, ``refresh``)
+predate the catalogue and are covered by the span-name inventory
+itself, not the emit-site lint.
 """
 
 from __future__ import annotations
@@ -28,13 +37,16 @@ NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
 
 CATALOGUE_REL_PATH = "obs/catalogue.py"
 EMIT_METHODS = frozenset({"counter", "gauge", "histogram"})
+#: Module prefixes whose span emit sites must use catalogued names.
+SPAN_CHECKED_PREFIXES = ("serve/", "storage/")
 
 
-def catalogue_names(ctx: ProjectContext) -> set[str] | None:
-    """Literal keys of ``INSTRUMENTS`` in the linted tree's catalogue.
+def _literal_dict_keys(ctx: ProjectContext, variable: str) -> set[str] | None:
+    """Literal string keys of a module-level dict in the tree's catalogue.
 
-    Returns None when the tree has no catalogue module (scratch trees in
-    the rule tests) -- then only the name-shape check applies.
+    Returns None when the tree has no catalogue module or the dict is
+    absent (scratch trees in the rule tests) -- then only the name-shape
+    check applies.
     """
     module = ctx.module(CATALOGUE_REL_PATH)
     if module is None:
@@ -43,13 +55,47 @@ def catalogue_names(ctx: ProjectContext) -> set[str] | None:
         if not isinstance(node, ast.Assign):
             continue
         targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
-        if "INSTRUMENTS" not in targets or not isinstance(node.value, ast.Dict):
+        if variable not in targets or not isinstance(node.value, ast.Dict):
             continue
         return {
             key.value
             for key in node.value.keys
             if isinstance(key, ast.Constant) and isinstance(key.value, str)
         }
+    return None
+
+
+def catalogue_names(ctx: ProjectContext) -> set[str] | None:
+    """Literal keys of ``INSTRUMENTS`` in the linted tree's catalogue."""
+    return _literal_dict_keys(ctx, "INSTRUMENTS")
+
+
+def span_names(ctx: ProjectContext) -> set[str] | None:
+    """Literal keys of ``SPANS`` in the linted tree's catalogue."""
+    return _literal_dict_keys(ctx, "SPANS")
+
+
+def _span_name_node(node: ast.Call) -> ast.Constant | None:
+    """The literal span-name argument of a span emit site, if any.
+
+    Matches ``<expr>.span("name", ...)`` attribute calls (Tracer and
+    Instrumentation share the method name) and ``maybe_span(obs,
+    "name", ...)`` guard calls; ``trace_context`` ids are per-request
+    values, not names, and stay out of scope.
+    """
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "span" and node.args:
+        candidate = node.args[0]
+    elif (
+        isinstance(func, ast.Name)
+        and func.id == "maybe_span"
+        and len(node.args) >= 2
+    ):
+        candidate = node.args[1]
+    else:
+        return None
+    if isinstance(candidate, ast.Constant) and isinstance(candidate.value, str):
+        return candidate
     return None
 
 
@@ -64,10 +110,36 @@ class InstrumentNameRule(ProjectRule):
 
     def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
         declared = catalogue_names(ctx)
+        spans = span_names(ctx)
         for module in ctx.modules:
             if module.rel_path == CATALOGUE_REL_PATH:
                 continue
             yield from self._check_module(module, declared)
+            if spans is not None and module.rel_path.startswith(
+                SPAN_CHECKED_PREFIXES
+            ):
+                yield from self._check_spans(module, spans)
+
+    def _check_spans(
+        self, ctx: ModuleContext, spans: set[str]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name_node = _span_name_node(node)
+            if name_node is None or name_node.value in spans:
+                continue
+            yield Finding(
+                path=ctx.rel_path,
+                line=name_node.lineno,
+                col=name_node.col_offset,
+                rule_id=self.id,
+                message=(
+                    f"span name {name_node.value!r} is not declared in "
+                    "obs/catalogue.py SPANS; register it there so 'repro "
+                    "trace' and the SLO report can key on it"
+                ),
+            )
 
     def _check_module(
         self, ctx: ModuleContext, declared: set[str] | None

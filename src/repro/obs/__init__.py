@@ -19,7 +19,13 @@ See docs/observability.md for the instrument catalogue and formats.
 """
 
 from repro.obs.api import Instrumentation, maybe_span
-from repro.obs.catalogue import COUNT_BUCKETS, INSTRUMENTS, InstrumentSpec, SECONDS_BUCKETS
+from repro.obs.catalogue import (
+    COUNT_BUCKETS,
+    INSTRUMENTS,
+    InstrumentSpec,
+    SECONDS_BUCKETS,
+    SPANS,
+)
 from repro.obs.events import Event, EventBus
 from repro.obs.exporters import (
     JsonlEventSink,
@@ -27,6 +33,17 @@ from repro.obs.exporters import (
     snapshot,
     snapshot_json,
     write_spans_jsonl,
+)
+from repro.obs.slo import SLO, SLOTracker, parse_slos
+from repro.obs.timeseries import TimeSeriesStore, quantile_nearest_rank
+from repro.obs.tracefile import (
+    SpanNode,
+    SpanSinkJsonl,
+    build_forest,
+    chrome_trace_dict,
+    critical_path,
+    read_spans_jsonl,
+    self_times,
 )
 from repro.obs.instruments import (
     Counter,
@@ -57,6 +74,7 @@ __all__ = [
     # catalogue
     "INSTRUMENTS",
     "InstrumentSpec",
+    "SPANS",
     "COUNT_BUCKETS",
     "SECONDS_BUCKETS",
     # events
@@ -68,6 +86,20 @@ __all__ = [
     "NullClock",
     "Span",
     "Tracer",
+    # trace files
+    "SpanNode",
+    "SpanSinkJsonl",
+    "build_forest",
+    "chrome_trace_dict",
+    "critical_path",
+    "read_spans_jsonl",
+    "self_times",
+    # time series + SLOs
+    "TimeSeriesStore",
+    "quantile_nearest_rank",
+    "SLO",
+    "SLOTracker",
+    "parse_slos",
     # exporters
     "JsonlEventSink",
     "prometheus_text",

@@ -55,6 +55,12 @@ class Instrumentation:
         acceptance outcome and log-append attributes).  Off by default:
         insert volume dwarfs refresh volume, and counters/gauges cover
         the online phase more cheaply.
+    trace_storage:
+        When True, the buffer pool and block devices open per-block
+        ``storage.pool.*`` / ``storage.device.*`` spans, extending each
+        request's trace tree down to individual I/O charges.  Off by
+        default for the same volume reason as ``trace_inserts``; the
+        serve simulator turns it on when exporting a ``--trace`` file.
     clock:
         Override the span time source (see :class:`repro.obs.trace.Clock`);
         the real-disk path injects the wall clock that lives in
@@ -68,6 +74,7 @@ class Instrumentation:
         events: EventBus | None = None,
         tracer: Tracer | None = None,
         trace_inserts: bool = False,
+        trace_storage: bool = False,
         max_spans: int = 10_000,
         clock: Clock | None = None,
     ) -> None:
@@ -85,6 +92,7 @@ class Instrumentation:
             )
         )
         self.trace_inserts = trace_inserts
+        self.trace_storage = trace_storage
         self._device_counters: dict[tuple[str, str, bool], Counter] = {}
 
     # -- instrument passthrough -------------------------------------------

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
-__all__ = ["InstrumentSpec", "INSTRUMENTS", "COUNT_BUCKETS", "SECONDS_BUCKETS"]
+__all__ = ["InstrumentSpec", "INSTRUMENTS", "SPANS", "COUNT_BUCKETS", "SECONDS_BUCKETS"]
 
 
 class InstrumentSpec(NamedTuple):
@@ -174,4 +174,45 @@ INSTRUMENTS: dict[str, InstrumentSpec] = {
     "engine.offline_seconds": InstrumentSpec(
         "gauge", "simulated offline cost of the last engine run", "seconds"
     ),
+}
+
+
+#: The trace-span catalogue: every span name the library may open.
+#:
+#: Like ``INSTRUMENTS``, this is one central literal declaration so the
+#: tracing surface stays reviewable and machine-checkable: OBS001 parses
+#: this dict and rejects any ``span("...")`` / ``maybe_span(obs, "...")``
+#: site under serve/ or storage/ whose literal name is not declared here.
+#: Parent-child relationships are recorded per span instance (span_id /
+#: parent_id), not here -- the same span name can appear under different
+#: parents (e.g. ``refresh`` under ``serve.refresh_job`` vs.
+#: ``session.refresh_forced``).
+SPANS: dict[str, str] = {
+    # -- maintenance core (repro.core.maintenance, baselines) ---------------
+    "insert": "one scalar insertion through the maintenance front door",
+    "batch_insert": "one skip-based batch insertion (attrs: offered)",
+    "insert.sample_write": "sample-slot overwrite during immediate refresh",
+    "insert.log_append": "candidate append to the current log generation",
+    "refresh": "one deferred refresh cycle (attrs: candidates, displaced)",
+    "refresh.log_flush": "log flush/truncate at the end of a refresh",
+    "refresh.precompute": "offline precompute phase of a refresh",
+    "refresh.write": "sequential write pass of a refresh",
+    "gf.flush": "geometric-file buffer flush (segment creation)",
+    "maintenance.checkpoint": "durable checkpoint capture of maintainer state",
+    # -- serving layer (repro.serve) ----------------------------------------
+    "serve.event": "one scheduler event, root of the per-request trace tree",
+    "serve.admit": "admission-control decision for a query arrival",
+    "serve.ingest": "ingest batch applied to a catalog sample",
+    "serve.query": "admitted query from dispatch to answer",
+    "serve.shed": "query rejected by admission control",
+    "serve.refresh_job": "background refresh job run by the scheduler",
+    "session.read": "QuerySession read path (freshness check + scan + estimate)",
+    "session.refresh_forced": "refresh forced on the read path by a contract",
+    "session.scan": "full sample scan feeding the estimator",
+    # -- storage engine (repro.storage), deep-trace mode only ----------------
+    "storage.pool.read": "buffer-pool read (attrs: hit) -- trace_storage only",
+    "storage.pool.write": "buffer-pool buffered write -- trace_storage only",
+    "storage.pool.flush": "buffer-pool flush barrier -- trace_storage only",
+    "storage.device.read": "block-device read charge -- trace_storage only",
+    "storage.device.write": "block-device write charge -- trace_storage only",
 }

@@ -20,7 +20,12 @@ from repro.obs.api import Instrumentation
 from repro.obs.catalogue import INSTRUMENTS
 from repro.obs.exporters import prometheus_text, snapshot_json, write_spans_jsonl
 
-__all__ = ["add_stats_parser", "run_stats_command", "run_instrumented_cycle"]
+__all__ = [
+    "add_stats_parser",
+    "print_span_table",
+    "run_stats_command",
+    "run_instrumented_cycle",
+]
 
 _ALGORITHMS = ("array", "stack", "nomem", "naive")
 _STRATEGIES = ("candidate", "full", "immediate")
@@ -65,6 +70,13 @@ def add_stats_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser
     stats.add_argument(
         "--catalogue", action="store_true",
         help="print the declared instrument catalogue and exit",
+    )
+    stats.add_argument(
+        "--spans-file", metavar="PATH", default=None,
+        help=(
+            "print the span summary for an exported spans JSONL file "
+            "(e.g. from serve-sim --trace) instead of running a cycle"
+        ),
     )
     return stats
 
@@ -144,22 +156,40 @@ def _print_catalogue() -> None:
         print(f"{name:<{width}}  {spec.kind:<9}  {unit:<8}  {spec.description}")
 
 
-def _print_summary(instrumentation: Instrumentation) -> None:
+#: Span-dict keys that are structure, not user attributes.
+_SPAN_FIELDS = frozenset(
+    ("span", "parent", "span_id", "parent_id", "trace_id", "start",
+     "cost_seconds", "blocks")
+)
+
+
+def print_span_table(records: list[dict]) -> None:
+    """The span summary table, from span dicts (in-process or a file).
+
+    One row per span in completion order -- identical output whether the
+    dicts came from a live tracer or an exported JSONL file.
+    """
     print("trace spans (cost-model seconds; blocks = seq/random x read/write):")
-    for span in instrumentation.tracer.finished:
-        indent = "  " if span.parent is None else "    "
-        io = span.io
+    for record in records:
+        indent = "  " if record.get("parent") is None else "    "
+        io = record.get("blocks")
         blocks = (
-            f"sr={io.seq_reads} sw={io.seq_writes} "
-            f"rr={io.random_reads} rw={io.random_writes}"
+            f"sr={io['seq_reads']} sw={io['seq_writes']} "
+            f"rr={io['random_reads']} rw={io['random_writes']}"
             if io is not None
             else "-"
         )
-        attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+        attrs = " ".join(
+            f"{k}={v}" for k, v in record.items() if k not in _SPAN_FIELDS
+        )
         print(
-            f"{indent}{span.name:<20} {span.duration_seconds:>12.6f}s  "
+            f"{indent}{record['span']:<20} {record['cost_seconds']:>12.6f}s  "
             f"[{blocks}]{'  ' + attrs if attrs else ''}"
         )
+
+
+def _print_summary(instrumentation: Instrumentation) -> None:
+    print_span_table([span.to_dict() for span in instrumentation.tracer.finished])
     print()
     print("per-device block accesses (kind x pattern):")
     rows = [
@@ -190,6 +220,17 @@ def _print_summary(instrumentation: Instrumentation) -> None:
 def run_stats_command(args: argparse.Namespace) -> int:
     if args.catalogue:
         _print_catalogue()
+        return 0
+    if args.spans_file:
+        from repro.obs.tracefile import read_spans_jsonl
+
+        try:
+            with open(args.spans_file, "r", encoding="utf-8") as handle:
+                records = read_spans_jsonl(handle)
+        except (OSError, ValueError) as exc:
+            print(f"repro stats: {args.spans_file}: {exc}", file=sys.stderr)
+            return 2
+        print_span_table(records)
         return 0
     if args.sample_size <= 0 or args.inserts < 0:
         print("repro stats: sample size must be positive, inserts non-negative",

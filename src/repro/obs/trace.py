@@ -22,7 +22,7 @@ from __future__ import annotations
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Protocol
+from typing import Any, Callable, Iterator, Protocol
 
 from repro.storage.cost_model import AccessStats, CostModel
 
@@ -55,7 +55,16 @@ class NullClock:
 
 @dataclass
 class Span:
-    """One completed (or in-flight) traced step."""
+    """One completed (or in-flight) traced step.
+
+    Beyond the legacy ``parent`` *name*, every span carries explicit
+    identity: a ``span_id`` unique within its tracer, the ``span_id`` of
+    its parent (``parent_id``), and the ``trace_id`` of the request it
+    belongs to (None outside any trace context).  All three are assigned
+    deterministically -- span ids are a simple counter, trace ids are
+    derived by the caller from seed + event index -- so two runs from the
+    same seed export byte-identical span files.
+    """
 
     name: str
     parent: str | None = None
@@ -63,6 +72,9 @@ class Span:
     start_seconds: float = 0.0
     end_seconds: float | None = None
     io: AccessStats | None = None
+    span_id: int = 0
+    parent_id: int | None = None
+    trace_id: str | None = None
 
     @property
     def duration_seconds(self) -> float:
@@ -83,6 +95,10 @@ class Span:
         out: dict[str, Any] = {
             "span": self.name,
             "parent": self.parent,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "start": round(self.start_seconds, 9),
             "cost_seconds": round(self.duration_seconds, 9),
             **self.attrs,
         }
@@ -101,6 +117,16 @@ class Tracer:
 
     ``max_spans`` bounds retention (oldest finished spans are dropped
     first) so long instrumented runs cannot grow memory without bound.
+    Streaming consumers that must see *every* span regardless of the
+    retention cap (e.g. the serve-sim ``--trace`` JSONL exporter) attach
+    a sink via :meth:`add_span_sink` and receive each span as it
+    finishes, in completion order.
+
+    The tracer also carries the current **trace context**: while inside
+    :meth:`trace_context`, every span opened is stamped with that trace
+    id, linking all work done on behalf of one request -- scheduler
+    event, admission decision, session read, triggered refresh, buffer
+    pool and device I/O -- into one tree.
     """
 
     def __init__(
@@ -117,6 +143,12 @@ class Tracer:
         self._stack: list[Span] = []
         self._finished: deque[Span] = deque(maxlen=max_spans)
         self._events = event_bus
+        self._next_span_id = 1
+        self._trace_id: str | None = None
+        self._sinks: list[Callable[[Span], None]] = []
+        #: Seed-derived run identifier; callers (run_simulation) set it so
+        #: trace ids minted from this tracer are stable across runs.
+        self.run_id: str = ""
 
     @property
     def finished(self) -> list[Span]:
@@ -127,8 +159,37 @@ class Tracer:
     def current(self) -> Span | None:
         return self._stack[-1] if self._stack else None
 
+    @property
+    def current_trace_id(self) -> str | None:
+        return self._trace_id
+
     def clear(self) -> None:
         self._finished.clear()
+
+    def add_span_sink(self, sink: Callable[[Span], None]) -> Callable[[], None]:
+        """Register ``sink`` to receive every finished span; returns an
+        unsubscribe callable."""
+        self._sinks.append(sink)
+
+        def unsubscribe() -> None:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+        return unsubscribe
+
+    @contextmanager
+    def trace_context(self, trace_id: str) -> Iterator[str]:
+        """Stamp every span opened inside the block with ``trace_id``.
+
+        Contexts nest by save/restore, so a refresh job traced under its
+        own id inside a query's context reverts cleanly on exit.
+        """
+        previous = self._trace_id
+        self._trace_id = trace_id
+        try:
+            yield trace_id
+        finally:
+            self._trace_id = previous
 
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[Span]:
@@ -138,8 +199,16 @@ class Tracer:
         refresh still leaves the partially accrued cost visible -- the
         failure-analysis case the fault-injection tests exercise.
         """
-        parent = self._stack[-1].name if self._stack else None
-        span = Span(name=name, parent=parent, attrs=dict(attrs))
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name=name,
+            parent=parent.name if parent is not None else None,
+            attrs=dict(attrs),
+            span_id=self._next_span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            trace_id=self._trace_id,
+        )
+        self._next_span_id += 1
         span.start_seconds = self._clock.now()
         checkpoint = (
             self._cost_model.checkpoint() if self._cost_model is not None else None
@@ -153,6 +222,8 @@ class Tracer:
             if checkpoint is not None:
                 span.io = self._cost_model.since(checkpoint)
             self._finished.append(span)
+            for sink in self._sinks:
+                sink(span)
             if self._events is not None:
                 self._events.emit(
                     "trace.span_end",

@@ -100,6 +100,41 @@ def add_serve_sim_parser(sub) -> argparse.ArgumentParser:
         action="store_true",
         help="omit the per-event trace from the JSON report",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "export every span as sorted-key JSONL to PATH (deterministic; "
+            "enables per-block storage spans; inspect with 'repro trace')"
+        ),
+    )
+    parser.add_argument(
+        "--slo",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help=(
+            "declare an SLO: latency:SECONDS:OBJECTIVE, "
+            "staleness:ROWS:OBJECTIVE, or shed_rate:CEILING (repeatable; "
+            "the freshness contract check is always on)"
+        ),
+    )
+    parser.add_argument(
+        "--slo-gate",
+        action="store_true",
+        help="exit non-zero when any declared SLO misses its objective",
+    )
+    parser.add_argument(
+        "--ts-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "window width (cost seconds) for the report's time-series "
+            "section (0 = off)"
+        ),
+    )
     return parser
 
 
@@ -122,6 +157,9 @@ def run_serve_sim_command(args: argparse.Namespace) -> int:
         overload_action=args.overload_action,
         pool_capacity=args.pool_capacity,
         pool_readahead=args.pool_readahead,
+        trace_path=args.trace,
+        slos=tuple(args.slo),
+        timeseries_interval=args.ts_interval,
     )
     instrumentation = Instrumentation(cost_model=CostModel())
     report = run_simulation(config, instrumentation=instrumentation)
@@ -177,9 +215,29 @@ def run_serve_sim_command(args: argparse.Namespace) -> int:
             f"readahead={pool['readahead_blocks']} "
             f"coalesced={pool['coalesced_writes']})"
         )
+    slo = report.slo
+    missed = [
+        name
+        for name, entry in sorted(slo.get("objectives", {}).items())
+        if not entry.get("met", True)
+    ]
+    for name, entry in sorted(slo.get("objectives", {}).items()):
+        budget = entry["error_budget"]
+        burn = entry["burn_rate"]
+        print(
+            f"  slo {name}: {'MET' if entry['met'] else 'MISSED'}  "
+            f"compliance={entry['compliance']:.6f}  "
+            f"budget {budget['consumed']}/{budget['total']:g}"
+            + (f"  burn={burn:.3f}" if burn is not None else "")
+        )
+    if args.trace:
+        print(f"  spans written to {args.trace}")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(report.to_json(include_trace=not args.no_trace))
             handle.write("\n")
         print(f"  report written to {args.json}")
+    if args.slo_gate and missed:
+        print(f"serve-sim: SLO gate failed: {', '.join(missed)}")
+        return 1
     return 0

@@ -35,11 +35,14 @@ jobs -- this is what makes policy *order* observable):
 from __future__ import annotations
 
 import heapq
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Protocol, Sequence
 
 from repro.obs.api import maybe_span
 from repro.obs.catalogue import COUNT_BUCKETS, SECONDS_BUCKETS
+from repro.obs.slo import SLOTracker, parse_slos
+from repro.obs.timeseries import TimeSeriesStore
 from repro.serve.admission import AdmissionController
 from repro.serve.session import QuerySession
 from repro.serve.workload import WorkloadEvent
@@ -215,6 +218,10 @@ class ServeReport:
     device: dict = field(default_factory=dict)
     #: page-cache effectiveness (catalog.pool_stats(); enabled=false when off)
     pool: dict = field(default_factory=dict)
+    #: SLO engine output: per-objective error budgets and burn rates
+    slo: dict = field(default_factory=dict)
+    #: windowed time-series summaries (empty unless an interval was set)
+    timeseries: dict = field(default_factory=dict)
     trace: list = field(default_factory=list)
 
     def to_dict(self, include_trace: bool = True) -> dict:
@@ -236,7 +243,10 @@ class ServeReport:
             "offline": dict(self.offline),
             "device": dict(self.device),
             "pool": dict(self.pool),
+            "slo": dict(self.slo),
         }
+        if self.timeseries:
+            out["timeseries"] = dict(self.timeseries)
         if include_trace:
             out["trace"] = list(self.trace)
         return out
@@ -298,6 +308,15 @@ class DeterministicScheduler:
     session:
         Optional :class:`~repro.serve.session.QuerySession`; defaults to
         a session over ``catalog`` at 95% confidence.
+    slos:
+        Optional :class:`~repro.obs.slo.SLOTracker` fed per answered/shed
+        query; defaults to a tracker carrying only the always-on
+        freshness contract check, so the report's ``slo`` section is
+        always present.
+    timeseries:
+        Optional :class:`~repro.obs.timeseries.TimeSeriesStore`; when
+        given, latency/staleness/queue-depth/pool/device series are
+        sampled per event and summarised in the report.
     """
 
     def __init__(
@@ -307,10 +326,14 @@ class DeterministicScheduler:
         admission: AdmissionController | None = None,
         session: QuerySession | None = None,
         instrumentation: "Instrumentation | None" = None,
+        slos: SLOTracker | None = None,
+        timeseries: TimeSeriesStore | None = None,
     ) -> None:
         self._catalog = catalog
         self._policy = policy
         self._instr = instrumentation
+        self._slos = slos if slos is not None else SLOTracker(parse_slos([]))
+        self._ts = timeseries
         self._admission = (
             admission
             if admission is not None
@@ -343,7 +366,7 @@ class DeterministicScheduler:
         heapq.heapify(heap)
         # Deferred re-queues get sequence numbers above every workload seq,
         # so a deferral never jumps ahead of a same-instant arrival.
-        next_seq = max((event.seq for event in events), default=-1) + 1
+        next_seq_box = [max((event.seq for event in events), default=-1) + 1]
         deferred_once: set[int] = set()
         busy_until = 0.0
         trace: list[dict] = []
@@ -363,130 +386,59 @@ class DeterministicScheduler:
             # frees again (deterministic -- derived only from the heap).
             depth = sum(1 for entry in heap if entry[0] < busy_until)
 
-            if event.kind == "ingest":
-                mark = cost_model.checkpoint()
-                with maybe_span(
-                    obs, "serve.ingest", sample=event.sample, n=len(event.batch)
-                ):
-                    catalog.ingest(event.sample, event.batch)
-                service = cost_model.since(mark).cost_seconds(cost_model.disk)
-                busy_until = start + service
-                report.ingest_batches += 1
-                report.elements_ingested += len(event.batch)
+            with ExitStack() as stack:
                 if obs is not None:
-                    self._c_ingest.inc()
-                trace.append(
-                    {
-                        "kind": "ingest",
-                        "seq": seq,
-                        "sample": event.sample,
-                        "arrival": _round(arrival),
-                        "start": _round(start),
-                        "service": _round(service),
-                        "elements": len(event.batch),
-                    }
-                )
-            else:
-                decision = self._admission.admit(
-                    wait_seconds=wait,
-                    queue_depth=depth,
-                    already_deferred=event.seq in deferred_once,
-                )
-                if decision.action == "defer":
-                    deferred_once.add(event.seq)
-                    report.queries_deferred += 1
-                    heapq.heappush(heap, (busy_until, next_seq, event))
-                    next_seq += 1
-                    trace.append(
-                        {
-                            "kind": "defer",
-                            "seq": seq,
-                            "sample": event.sample,
-                            "arrival": _round(arrival),
-                            "retry_at": _round(busy_until),
-                            "queue_depth": depth,
-                        }
+                    # One deterministic trace id per workload event: every
+                    # span opened on its behalf -- admission, session read,
+                    # triggered refresh, pool and device I/O -- shares it.
+                    stack.enter_context(
+                        obs.tracer.trace_context(self._trace_id(f"{event.seq:06d}"))
                     )
-                    continue
-                if decision.action == "shed":
-                    report.queries_shed += 1
-                    with maybe_span(
-                        obs, "serve.shed", sample=event.sample, queue_depth=depth
-                    ):
-                        pass
-                    trace.append(
-                        {
-                            "kind": "shed",
-                            "seq": seq,
-                            "sample": event.sample,
-                            "arrival": _round(arrival),
-                            "wait": _round(wait),
-                            "queue_depth": depth,
-                        }
+                    stack.enter_context(
+                        obs.span(
+                            "serve.event",
+                            kind=event.kind,
+                            seq=event.seq,
+                            sample=event.sample,
+                        )
                     )
-                    continue
-                mark = cost_model.checkpoint()
-                with maybe_span(
-                    obs,
-                    "serve.query",
-                    sample=event.sample,
-                    freshness=event.freshness.label,
-                    aggregate=event.aggregate,
-                ) as span:
-                    answer = self._session.execute(
-                        event.sample,
-                        event.freshness,
-                        aggregate=event.aggregate,
-                        threshold=event.threshold,
-                    )
-                    if span is not None:
-                        span.set("staleness", answer.staleness)
-                        span.set("refreshed", answer.refreshed)
-                service = cost_model.since(mark).cost_seconds(cost_model.disk)
-                busy_until = start + service
-                latency = (start + service) - arrival
-                report.queries_answered += 1
-                if answer.refreshed:
-                    report.forced_refreshes += 1
-                    refreshes_by_sample[event.sample] += 1
-                    self._policy.notify_refreshed(event.sample)
-                latencies.append(latency)
-                stalenesses.append(float(answer.staleness))
-                if obs is not None:
-                    self._c_queries.inc()
-                    self._h_latency.observe(latency)
-                    self._h_staleness.observe(float(answer.staleness))
-                trace.append(
-                    {
-                        "kind": "query",
-                        "seq": seq,
-                        "sample": event.sample,
-                        "freshness": event.freshness.label,
-                        "aggregate": event.aggregate,
-                        "arrival": _round(arrival),
-                        "start": _round(start),
-                        "service": _round(service),
-                        "latency": _round(latency),
-                        "staleness": answer.staleness,
-                        "refreshed": answer.refreshed,
-                        "estimate": _round(answer.estimate.value),
-                        "ci_low": _round(answer.estimate.low),
-                        "ci_high": _round(answer.estimate.high),
-                    }
+                busy_until = self._process_event(
+                    event=event,
+                    seq=seq,
+                    arrival=arrival,
+                    start=start,
+                    wait=wait,
+                    depth=depth,
+                    busy_until=busy_until,
+                    heap=heap,
+                    next_seq_box=next_seq_box,
+                    deferred_once=deferred_once,
+                    trace=trace,
+                    latencies=latencies,
+                    stalenesses=stalenesses,
+                    refreshes_by_sample=refreshes_by_sample,
+                    report=report,
                 )
-
-            busy_until = self._run_one_refresh_job(
-                busy_until, trace, refreshes_by_sample, report
-            )
+            if self._ts is not None:
+                self._sample_timeseries(busy_until, depth, device_mark)
 
         # Drain: keep the staleness invariant when traffic stops.
+        drain_index = 0
         while True:
             jobs_before = report.refresh_jobs
-            busy_until = self._run_one_refresh_job(
-                busy_until, trace, refreshes_by_sample, report
-            )
+            with ExitStack() as stack:
+                if obs is not None:
+                    stack.enter_context(
+                        obs.tracer.trace_context(
+                            self._trace_id(f"drain:{drain_index:06d}")
+                        )
+                    )
+                busy_until = self._run_one_refresh_job(
+                    busy_until, trace, refreshes_by_sample, report
+                )
             if report.refresh_jobs == jobs_before:
                 break
+            drain_index += 1
 
         report.clock_seconds = _round(busy_until)
         report.latency = _distribution(latencies)
@@ -500,8 +452,194 @@ class DeterministicScheduler:
         )
         report.device = _stats_dict(cost_model.since(device_mark))
         report.pool = catalog.pool_stats()
+        report.slo = self._slos.to_dict()
+        if self._ts is not None:
+            report.timeseries = self._ts.to_dict()
         report.trace = trace
         return report
+
+    def _trace_id(self, label: str) -> str:
+        run_id = self._instr.tracer.run_id if self._instr is not None else ""
+        return f"{run_id or 'run'}:{label}"
+
+    def _sample_timeseries(
+        self, now: float, depth: int, device_mark
+    ) -> None:
+        """Snapshot gauge/total series at the end of one event."""
+        ts = self._ts
+        ts.set_gauge("serve.queue_depth", now, float(depth))
+        pool = self._catalog.pool_stats()
+        ts.record_total("storage.pool.hits", now, float(pool.get("hits", 0)))
+        ts.record_total("storage.pool.misses", now, float(pool.get("misses", 0)))
+        cost_model = self._catalog.cost_model
+        ts.record_total(
+            "device.accesses", now, float(cost_model.since(device_mark).total_accesses)
+        )
+
+    def _process_event(
+        self,
+        event: WorkloadEvent,
+        seq: int,
+        arrival: float,
+        start: float,
+        wait: float,
+        depth: int,
+        busy_until: float,
+        heap: list,
+        next_seq_box: list,
+        deferred_once: set,
+        trace: list,
+        latencies: list,
+        stalenesses: list,
+        refreshes_by_sample: dict,
+        report: ServeReport,
+    ) -> float:
+        """Run one popped event to completion; returns the new busy_until.
+
+        Includes the post-event background refresh job (so a refresh
+        *triggered* by this event's ingest or staleness lands in the same
+        trace tree), except after a defer/shed, which yield the device
+        immediately as before.
+        """
+        catalog = self._catalog
+        cost_model = catalog.cost_model
+        obs = self._instr
+
+        if event.kind == "ingest":
+            mark = cost_model.checkpoint()
+            with maybe_span(
+                obs, "serve.ingest", sample=event.sample, n=len(event.batch)
+            ):
+                catalog.ingest(event.sample, event.batch)
+            service = cost_model.since(mark).cost_seconds(cost_model.disk)
+            busy_until = start + service
+            report.ingest_batches += 1
+            report.elements_ingested += len(event.batch)
+            if obs is not None:
+                self._c_ingest.inc()
+            trace.append(
+                {
+                    "kind": "ingest",
+                    "seq": seq,
+                    "sample": event.sample,
+                    "arrival": _round(arrival),
+                    "start": _round(start),
+                    "service": _round(service),
+                    "elements": len(event.batch),
+                }
+            )
+        else:
+            with maybe_span(
+                obs, "serve.admit", sample=event.sample, queue_depth=depth
+            ) as admit_span:
+                decision = self._admission.admit(
+                    wait_seconds=wait,
+                    queue_depth=depth,
+                    already_deferred=event.seq in deferred_once,
+                )
+                if admit_span is not None:
+                    admit_span.set("action", decision.action)
+            if decision.action == "defer":
+                deferred_once.add(event.seq)
+                report.queries_deferred += 1
+                heapq.heappush(heap, (busy_until, next_seq_box[0], event))
+                next_seq_box[0] += 1
+                trace.append(
+                    {
+                        "kind": "defer",
+                        "seq": seq,
+                        "sample": event.sample,
+                        "arrival": _round(arrival),
+                        "retry_at": _round(busy_until),
+                        "queue_depth": depth,
+                    }
+                )
+                return busy_until
+            if decision.action == "shed":
+                report.queries_shed += 1
+                self._slos.record_shed(arrival)
+                with maybe_span(
+                    obs, "serve.shed", sample=event.sample, queue_depth=depth
+                ):
+                    pass
+                trace.append(
+                    {
+                        "kind": "shed",
+                        "seq": seq,
+                        "sample": event.sample,
+                        "arrival": _round(arrival),
+                        "wait": _round(wait),
+                        "queue_depth": depth,
+                    }
+                )
+                return busy_until
+            mark = cost_model.checkpoint()
+            with maybe_span(
+                obs,
+                "serve.query",
+                sample=event.sample,
+                freshness=event.freshness.label,
+                aggregate=event.aggregate,
+            ) as span:
+                answer = self._session.execute(
+                    event.sample,
+                    event.freshness,
+                    aggregate=event.aggregate,
+                    threshold=event.threshold,
+                )
+                if span is not None:
+                    span.set("staleness", answer.staleness)
+                    span.set("refreshed", answer.refreshed)
+            service = cost_model.since(mark).cost_seconds(cost_model.disk)
+            busy_until = start + service
+            latency = (start + service) - arrival
+            report.queries_answered += 1
+            if answer.refreshed:
+                report.forced_refreshes += 1
+                refreshes_by_sample[event.sample] += 1
+                self._policy.notify_refreshed(event.sample)
+            latencies.append(latency)
+            stalenesses.append(float(answer.staleness))
+            if event.freshness.mode == "bounded_staleness":
+                bound: int | None = event.freshness.bound
+            elif event.freshness.mode == "refresh_on_read":
+                bound = 0
+            else:
+                bound = None
+            self._slos.record_query(
+                busy_until, latency, answer.staleness, bound
+            )
+            if self._ts is not None:
+                self._ts.observe("serve.query_latency_seconds", busy_until, latency)
+                self._ts.observe(
+                    "serve.query_staleness", busy_until, float(answer.staleness)
+                )
+            if obs is not None:
+                self._c_queries.inc()
+                self._h_latency.observe(latency)
+                self._h_staleness.observe(float(answer.staleness))
+            trace.append(
+                {
+                    "kind": "query",
+                    "seq": seq,
+                    "sample": event.sample,
+                    "freshness": event.freshness.label,
+                    "aggregate": event.aggregate,
+                    "arrival": _round(arrival),
+                    "start": _round(start),
+                    "service": _round(service),
+                    "latency": _round(latency),
+                    "staleness": answer.staleness,
+                    "refreshed": answer.refreshed,
+                    "estimate": _round(answer.estimate.value),
+                    "ci_low": _round(answer.estimate.low),
+                    "ci_high": _round(answer.estimate.high),
+                }
+            )
+
+        return self._run_one_refresh_job(
+            busy_until, trace, refreshes_by_sample, report
+        )
 
     def _run_one_refresh_job(
         self,

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.analysis.query import Estimate, SampleQuery
+from repro.obs.api import maybe_span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.api import Instrumentation
@@ -155,16 +156,37 @@ class QuerySession:
         """Answer one query at the requested freshness."""
         if aggregate not in AGGREGATES:
             raise ValueError(f"aggregate must be one of {AGGREGATES}, got {aggregate!r}")
+        if self._instr is None:
+            return self._execute(name, freshness, aggregate, threshold)
+        with self._instr.span(
+            "session.read", sample=name, freshness=freshness.label
+        ) as span:
+            answer = self._execute(name, freshness, aggregate, threshold)
+            span.set("staleness", answer.staleness)
+            span.set("refreshed", answer.refreshed)
+        return answer
+
+    def _execute(
+        self,
+        name: str,
+        freshness: Freshness,
+        aggregate: str,
+        threshold: int | None,
+    ) -> ServedAnswer:
         maintainer = self._catalog.get(name)
         pending = maintainer.pending_log_elements
         refreshed = False
         if freshness.requires_refresh(pending):
-            maintainer.refresh()
+            with maybe_span(
+                self._instr, "session.refresh_forced", sample=name, pending=pending
+            ):
+                maintainer.refresh()
             refreshed = True
             pending = maintainer.pending_log_elements
             if self._instr is not None:
                 self._c_forced.inc()
-        rows = list(maintainer.sample.scan())
+        with maybe_span(self._instr, "session.scan", sample=name):
+            rows = list(maintainer.sample.scan())
         query: SampleQuery = SampleQuery(
             rows, maintainer.dataset_size, self._confidence
         )

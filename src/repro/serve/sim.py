@@ -12,9 +12,13 @@ bytes out, everywhere.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.obs.slo import SLOTracker, parse_slos
+from repro.obs.timeseries import TimeSeriesStore
+from repro.obs.tracefile import SpanSinkJsonl
 from repro.rng.random_source import RandomSource
 from repro.serve.admission import AdmissionController
 from repro.serve.catalog import SampleCatalog
@@ -65,9 +69,23 @@ class SimConfig:
     #: page-cache frames per device (0 = no pool, bit-identical accounting)
     pool_capacity: int = 0
     pool_readahead: int = 8
+    #: write every finished span as sorted-key JSONL here (None = no trace
+    #: file; also enables per-block storage spans on the instrumentation)
+    trace_path: str | None = None
+    #: SLO specs (repro.obs.slo.SLO.parse syntax); the always-on freshness
+    #: contract check is appended regardless
+    slos: tuple[str, ...] = ()
+    #: window width in cost seconds for the report's time-series section
+    #: (0 = no time series)
+    timeseries_interval: float = 0.0
 
     def sample_names(self) -> list[str]:
         return [f"s{index:02d}" for index in range(self.samples)]
+
+    @property
+    def run_id(self) -> str:
+        """Seed-derived trace-id prefix shared by every span of the run."""
+        return f"{self.seed:08x}"
 
 
 def build_catalog(
@@ -106,34 +124,62 @@ def run_simulation(
     Pass a pre-built ``catalog`` to reuse one (e.g. crash-recovery tests
     that reopen it between runs); by default a fresh catalog is built
     from the config's seed.
+
+    ``config.trace_path`` requires ``instrumentation``: the tracer's
+    ``run_id`` is set from the seed, a streaming JSONL sink is attached
+    for the run, and per-block storage spans are switched on so each
+    query's trace tree reaches the buffer pool and device.
     """
-    if catalog is None:
-        catalog = build_catalog(config, instrumentation)
-    workload_rng = RandomSource(config.seed).spawn("workload")
-    events = synthetic_workload(
-        workload_rng,
-        catalog.names(),
-        config.events,
-        mean_gap_seconds=config.mean_gap_seconds,
-        ingest_fraction=config.ingest_fraction,
-        batch_range=config.batch_range,
-        staleness_bound=config.staleness_bound,
-    )
-    scheduler = DeterministicScheduler(
-        catalog,
-        policy=make_scheduling_policy(config.policy),
-        admission=AdmissionController(
-            max_queue_depth=config.max_queue_depth,
-            max_wait_seconds=config.max_wait_seconds,
-            overload_action=config.overload_action,
+    if config.trace_path is not None and instrumentation is None:
+        raise ValueError("trace_path requires instrumentation")
+    with ExitStack() as stack:
+        if instrumentation is not None:
+            instrumentation.tracer.run_id = config.run_id
+        if config.trace_path is not None:
+            stream = stack.enter_context(
+                open(config.trace_path, "w", encoding="utf-8")
+            )
+            unsubscribe = instrumentation.tracer.add_span_sink(SpanSinkJsonl(stream))
+            stack.callback(unsubscribe)
+            previous_trace_storage = instrumentation.trace_storage
+            instrumentation.trace_storage = True
+            stack.callback(
+                setattr, instrumentation, "trace_storage", previous_trace_storage
+            )
+        if catalog is None:
+            if instrumentation is not None:
+                with instrumentation.tracer.trace_context(f"{config.run_id}:setup"):
+                    catalog = build_catalog(config, instrumentation)
+            else:
+                catalog = build_catalog(config, instrumentation)
+        workload_rng = RandomSource(config.seed).spawn("workload")
+        events = synthetic_workload(
+            workload_rng,
+            catalog.names(),
+            config.events,
+            mean_gap_seconds=config.mean_gap_seconds,
+            ingest_fraction=config.ingest_fraction,
+            batch_range=config.batch_range,
+            staleness_bound=config.staleness_bound,
+        )
+        interval = config.timeseries_interval
+        scheduler = DeterministicScheduler(
+            catalog,
+            policy=make_scheduling_policy(config.policy),
+            admission=AdmissionController(
+                max_queue_depth=config.max_queue_depth,
+                max_wait_seconds=config.max_wait_seconds,
+                overload_action=config.overload_action,
+                instrumentation=instrumentation,
+            ),
+            session=QuerySession(
+                catalog, confidence=config.confidence, instrumentation=instrumentation
+            ),
             instrumentation=instrumentation,
-        ),
-        session=QuerySession(
-            catalog, confidence=config.confidence, instrumentation=instrumentation
-        ),
-        instrumentation=instrumentation,
-    )
-    return scheduler.run(events)
+            slos=SLOTracker(parse_slos(list(config.slos)), window_interval=interval),
+            timeseries=TimeSeriesStore(interval) if interval > 0 else None,
+        )
+        return scheduler.run(events)
 
 
 #: Trace fields that constitute a query's *answer* -- what the client sees.

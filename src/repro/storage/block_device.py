@@ -114,9 +114,19 @@ class SimulatedBlockDevice:
     def read_block(self, index: int, sequential: bool) -> bytes:
         """Return the contents of a block, charging one read access."""
         self._check_index(index)
-        self._cost_model.charge("read", sequential)
-        if self._instr is not None:
+        if self._instr is not None and self._instr.trace_storage:
+            with self._instr.span(
+                "storage.device.read",
+                device=self._name,
+                block=index,
+                pattern="seq" if sequential else "random",
+            ):
+                self._cost_model.charge("read", sequential)
             self._instr.record_device_access(self._name, "read", sequential)
+        else:
+            self._cost_model.charge("read", sequential)
+            if self._instr is not None:
+                self._instr.record_device_access(self._name, "read", sequential)
         return self._blocks.get(index, b"\x00" * self.block_size)
 
     def write_block(self, index: int, data: bytes, sequential: bool) -> None:
@@ -126,9 +136,19 @@ class SimulatedBlockDevice:
             raise ValueError(
                 f"block write must be exactly {self.block_size} bytes, got {len(data)}"
             )
-        self._cost_model.charge("write", sequential)
-        if self._instr is not None:
+        if self._instr is not None and self._instr.trace_storage:
+            with self._instr.span(
+                "storage.device.write",
+                device=self._name,
+                block=index,
+                pattern="seq" if sequential else "random",
+            ):
+                self._cost_model.charge("write", sequential)
             self._instr.record_device_access(self._name, "write", sequential)
+        else:
+            self._cost_model.charge("write", sequential)
+            if self._instr is not None:
+                self._instr.record_device_access(self._name, "write", sequential)
         self._blocks[index] = bytes(data)
 
     def peek_block(self, index: int) -> bytes:

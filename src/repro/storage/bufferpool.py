@@ -236,13 +236,24 @@ class BufferPool:
         """
         if self._capacity == 0:
             return self._inner.read_block(index, sequential)
+        if self._instr is not None and self._instr.trace_storage:
+            with self._instr.span(
+                "storage.pool.read", device=self._name, block=index
+            ) as span:
+                data, hit = self._read_enabled(index, sequential)
+                span.set("hit", hit)
+            return data
+        data, _ = self._read_enabled(index, sequential)
+        return data
+
+    def _read_enabled(self, index: int, sequential: bool) -> tuple[bytes, bool]:
         frame = self._frames.get(index)
         if frame is not None:
             self._touch(index, frame)
             self.stats.hits += 1
             if self._instr is not None:
                 self._c_hits.inc()
-            return frame.data
+            return frame.data, True
         self.stats.misses += 1
         if self._instr is not None:
             self._c_misses.inc()
@@ -250,7 +261,7 @@ class BufferPool:
         self._install(index, _Frame(data))
         if sequential and self._readahead:
             self._prefetch(index + 1)
-        return data
+        return data, False
 
     def write_block(self, index: int, data: bytes, sequential: bool) -> None:
         """Buffer the write; the device is touched at eviction or barrier."""
@@ -263,6 +274,15 @@ class BufferPool:
             raise ValueError(
                 f"block write must be exactly {self.block_size} bytes, got {len(data)}"
             )
+        if self._instr is not None and self._instr.trace_storage:
+            with self._instr.span(
+                "storage.pool.write", device=self._name, block=index
+            ):
+                self._write_enabled(index, data, sequential)
+            return
+        self._write_enabled(index, data, sequential)
+
+    def _write_enabled(self, index: int, data: bytes, sequential: bool) -> None:
         frame = self._frames.get(index)
         if frame is not None:
             if frame.dirty:
@@ -334,6 +354,14 @@ class BufferPool:
         """
         if self._capacity == 0:
             return
+        if self._instr is not None and self._instr.trace_storage:
+            with self._instr.span("storage.pool.flush", device=self._name) as span:
+                span.set("dirty", len(self.dirty_blocks))
+                self._flush_enabled()
+            return
+        self._flush_enabled()
+
+    def _flush_enabled(self) -> None:
         self.stats.flush_barriers += 1
         for index in self.dirty_blocks:
             frame = self._frames[index]

@@ -208,8 +208,11 @@ def test_dump_graph_on_real_tree_has_issue_contract_edges(capsys):
     scan = graph["functions"]["storage/files.py::SampleFile.scan"]
     assert "writes_device" not in scan["effects"]
     assert "reads_device" in scan["effects"]
+    # The traced wrapper delegates to _execute, which owns the refresh edge.
     execute = graph["functions"]["serve/session.py::QuerySession.execute"]
-    assert "core/maintenance.py::SampleMaintainer.refresh" in execute["calls"]
+    assert "serve/session.py::QuerySession._execute" in execute["calls"]
+    inner = graph["functions"]["serve/session.py::QuerySession._execute"]
+    assert "core/maintenance.py::SampleMaintainer.refresh" in inner["calls"]
 
 
 def test_dump_graph_includes_parse_diagnostics(tmp_path, capsys):

@@ -417,6 +417,95 @@ def test_obs001_real_serve_package_is_clean():
     assert findings == []
 
 
+SPAN_CATALOGUE = """\
+    INSTRUMENTS = {
+        "serve.queries": ("counter", "queries"),
+    }
+    SPANS = {
+        "serve.event": "one scheduler event",
+        "session.read": "one staleness-aware read",
+        "storage.device.read": "one charged block read",
+    }
+"""
+
+
+def test_obs001_flags_undeclared_span_names(tmp_path):
+    make_tree(tmp_path, {
+        "obs/catalogue.py": SPAN_CATALOGUE,
+        "serve/scheduler.py": """\
+            from repro.obs.api import maybe_span
+            def wire(obs, instr):
+                with obs.span("serve.event", seq=1):
+                    pass
+                with obs.span("serve.bogus"):
+                    pass
+                with maybe_span(instr, "session.read"):
+                    pass
+                with maybe_span(instr, "session.bogus"):
+                    pass
+        """,
+    })
+    findings = lint(tmp_path, rules=["OBS001"])
+    assert [(f.rule_id, f.line) for f in findings] == [
+        ("OBS001", 5), ("OBS001", 9),
+    ]
+    assert "serve.bogus" in findings[0].message
+    assert "SPANS" in findings[0].message
+    assert "session.bogus" in findings[1].message
+
+
+def test_obs001_span_discipline_covers_storage(tmp_path):
+    make_tree(tmp_path, {
+        "obs/catalogue.py": SPAN_CATALOGUE,
+        "storage/block_device.py": """\
+            def read(instr):
+                with instr.span("storage.device.read", block=0):
+                    pass
+                with instr.span("storage.device.bogus"):
+                    pass
+        """,
+    })
+    findings = lint(tmp_path, rules=["OBS001"])
+    assert [(f.rule_id, f.line) for f in findings] == [("OBS001", 4)]
+    assert "storage.device.bogus" in findings[0].message
+
+
+def test_obs001_span_discipline_exempts_core_modules(tmp_path):
+    # Core span names ("insert", "refresh", ...) predate the catalogue's
+    # dotted convention; only serve/ and storage/ emit sites are checked.
+    make_tree(tmp_path, {
+        "obs/catalogue.py": SPAN_CATALOGUE,
+        "core/maintenance.py": """\
+            def run(instr):
+                with instr.span("insert"):
+                    pass
+        """,
+    })
+    assert lint(tmp_path, rules=["OBS001"]) == []
+
+
+def test_obs001_span_runtime_names_are_exempt(tmp_path):
+    make_tree(tmp_path, {
+        "obs/catalogue.py": SPAN_CATALOGUE,
+        "serve/scheduler.py": """\
+            def wire(obs, name):
+                with obs.span(name):
+                    pass
+        """,
+    })
+    assert lint(tmp_path, rules=["OBS001"]) == []
+
+
+def test_obs001_real_span_sites_are_clean():
+    """Every span the real serve/ and storage/ packages open is declared
+    in the real SPANS catalogue."""
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    findings = [f for f in lint(src, rules=["OBS001"]) if "span name" in f.message]
+    assert findings == []
+
+
 def test_obs001_ignores_the_catalogue_module_itself(tmp_path):
     make_tree(tmp_path, {
         # A hypothetical helper inside the catalogue module would not be

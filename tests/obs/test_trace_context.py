@@ -1,0 +1,104 @@
+"""Trace-context propagation: span ids, trace ids, streaming sinks."""
+
+import io
+import json
+
+from repro.obs import Tracer
+from repro.obs.tracefile import SpanSinkJsonl
+from repro.storage.cost_model import CostModel
+
+
+def test_span_ids_are_sequential_and_parent_linked():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            pass
+        with tracer.span("sibling") as sibling:
+            pass
+    assert outer.span_id == 1
+    assert inner.span_id == 2
+    assert sibling.span_id == 3
+    assert outer.parent_id is None
+    assert inner.parent_id == outer.span_id
+    assert sibling.parent_id == outer.span_id
+    # Legacy name-based parent still populated.
+    assert inner.parent == "outer"
+
+
+def test_trace_context_stamps_and_restores():
+    tracer = Tracer()
+    with tracer.span("before") as before:
+        pass
+    with tracer.trace_context("run:000001"):
+        assert tracer.current_trace_id == "run:000001"
+        with tracer.span("inside") as inside:
+            with tracer.trace_context("run:nested"):
+                with tracer.span("deeper") as deeper:
+                    pass
+            with tracer.span("after_nested") as after_nested:
+                pass
+    with tracer.span("after") as after:
+        pass
+    assert before.trace_id is None
+    assert inside.trace_id == "run:000001"
+    assert deeper.trace_id == "run:nested"
+    assert after_nested.trace_id == "run:000001"
+    assert after.trace_id is None
+    assert tracer.current_trace_id is None
+
+
+def test_trace_context_restores_on_exception():
+    tracer = Tracer()
+    try:
+        with tracer.trace_context("boom"):
+            raise RuntimeError("x")
+    except RuntimeError:
+        pass
+    assert tracer.current_trace_id is None
+
+
+def test_to_dict_carries_identity_and_start():
+    cost_model = CostModel()
+    tracer = Tracer(cost_model=cost_model)
+    with tracer.trace_context("t:1"):
+        with tracer.span("demo.step", k="v"):
+            cost_model.charge("read", True)
+    record = tracer.finished[0].to_dict()
+    assert record["span"] == "demo.step"
+    assert record["span_id"] == 1
+    assert record["parent_id"] is None
+    assert record["trace_id"] == "t:1"
+    assert record["start"] == 0.0
+    assert record["k"] == "v"
+    assert record["blocks"]["seq_reads"] == 1
+
+
+def test_span_sink_sees_every_span_beyond_retention():
+    tracer = Tracer(max_spans=2)
+    stream = io.StringIO()
+    sink = SpanSinkJsonl(stream)
+    unsubscribe = tracer.add_span_sink(sink)
+    for index in range(5):
+        with tracer.span(f"step.{index}"):
+            pass
+    assert sink.count == 5
+    assert len(tracer.finished) == 2  # retention still bounded
+    lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+    assert [line["span"] for line in lines] == [f"step.{i}" for i in range(5)]
+    # Sorted-key JSON: byte-determinism of the export format.
+    first = stream.getvalue().splitlines()[0]
+    assert first == json.dumps(json.loads(first), sort_keys=True)
+    unsubscribe()
+    with tracer.span("step.after"):
+        pass
+    assert sink.count == 5
+
+
+def test_sinks_fire_in_completion_order():
+    tracer = Tracer()
+    seen = []
+    tracer.add_span_sink(lambda span: seen.append(span.name))
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    assert seen == ["inner", "outer"]

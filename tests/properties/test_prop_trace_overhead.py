@@ -1,0 +1,120 @@
+"""Property-based tests: observability is free when you look away.
+
+The tracing/SLO/time-series layer sits entirely *outside* the data
+plane: spans never consume randomness, never charge the cost model and
+never touch sample bytes.  So a fully instrumented serve-sim run -- span
+JSONL streaming, per-block storage spans, SLO tracking, time-series
+sampling -- must be bit-identical to a bare run in everything a client
+or the paper's cost accounting can observe: query answers, AccessStats,
+sample contents and per-sample PRNG state.
+
+Equality is exact, across refresh algorithms, page-cache settings and
+freshness (staleness-bound) contracts.
+"""
+
+import os
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import Instrumentation
+from repro.serve.sim import SimConfig, build_catalog, query_answers, run_simulation
+
+EVENTS = 60
+
+
+def _config(seed, algorithm, staleness_bound, pool_capacity):
+    return SimConfig(
+        seed=seed,
+        samples=2,
+        sample_size=128,
+        algorithm=algorithm,
+        events=EVENTS,
+        staleness_bound=staleness_bound,
+        pool_capacity=pool_capacity,
+        policy="deadline:128",
+    )
+
+
+def _fingerprint(catalog, report):
+    """Everything the data plane exposes: answers, bytes, RNG, accounting."""
+    per_sample = {}
+    for name in catalog.names():
+        entry = catalog.entry(name)
+        per_sample[name] = {
+            "sample": entry.sample.peek_all(),
+            "pending": entry.maintainer.pending_log_elements,
+            "rng": entry.maintainer._rng.snapshot(),
+        }
+    return {
+        "answers": query_answers(report.to_dict()),
+        "device": catalog.cost_model.stats,
+        "cost_seconds": catalog.cost_model.cost_seconds(),
+        "samples": per_sample,
+    }
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    algorithm=st.sampled_from(["array", "stack", "nomem", "naive"]),
+    staleness_bound=st.sampled_from([16, 256, 4096]),
+    pool_capacity=st.sampled_from([0, 16]),
+)
+@settings(max_examples=12, deadline=None)
+def test_full_observability_is_bit_identical_to_bare(
+    seed, algorithm, staleness_bound, pool_capacity
+):
+    bare_config = _config(seed, algorithm, staleness_bound, pool_capacity)
+    bare_catalog = build_catalog(bare_config)
+    bare_report = run_simulation(bare_config, catalog=bare_catalog)
+
+    handle, trace_path = tempfile.mkstemp(suffix=".jsonl")
+    os.close(handle)
+    try:
+        instrumentation = Instrumentation()
+        traced_config = SimConfig(
+            **{
+                **bare_config.__dict__,
+                "trace_path": trace_path,
+                "slos": ("latency:0.1:0.9", "shed_rate:0.05"),
+                "timeseries_interval": 0.5,
+            }
+        )
+        traced_catalog = build_catalog(traced_config, instrumentation)
+        traced_report = run_simulation(
+            traced_config, instrumentation=instrumentation, catalog=traced_catalog
+        )
+        assert os.path.getsize(trace_path) > 0  # the trace really streamed
+    finally:
+        os.unlink(trace_path)
+
+    assert _fingerprint(traced_catalog, traced_report) == _fingerprint(
+        bare_catalog, bare_report
+    )
+    # The observability sections exist without perturbing the above.
+    traced = traced_report.to_dict()
+    assert traced["slo"]["objectives"]
+    assert traced["timeseries"]["series"]
+
+
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=8, deadline=None)
+def test_slo_and_timeseries_alone_change_nothing(seed):
+    """Even without a tracer attached, the SLO/TS bookkeeping is inert."""
+    base = _config(seed, "stack", 256, 0)
+    bare_catalog = build_catalog(base)
+    bare_report = run_simulation(base, catalog=bare_catalog)
+
+    monitored_config = SimConfig(
+        **{
+            **base.__dict__,
+            "slos": ("staleness:64:0.5",),
+            "timeseries_interval": 1.0,
+        }
+    )
+    monitored_catalog = build_catalog(monitored_config)
+    monitored_report = run_simulation(monitored_config, catalog=monitored_catalog)
+
+    assert _fingerprint(monitored_catalog, monitored_report) == _fingerprint(
+        bare_catalog, bare_report
+    )

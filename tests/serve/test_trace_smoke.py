@@ -1,0 +1,128 @@
+"""Serve-layer trace smoke: the PR's acceptance criteria, as tests.
+
+Three guarantees, straight from the observability contract:
+
+1. Two same-seed runs with ``--trace`` produce byte-identical span JSONL
+   files and identical ``slo`` report sections.
+2. Every answered query's trace reconstructs the full parent-linked
+   chain scheduler event -> session read -> device (through the buffer
+   pool when one is configured).
+3. Tracing is free when off: a traced run and an uninstrumented run
+   return bit-identical query answers.
+"""
+
+import json
+
+from repro.obs import Instrumentation, read_spans_jsonl
+from repro.obs.tracefile import build_forest, _walk
+from repro.serve.sim import SimConfig, assert_same_answers, run_simulation
+
+BASE = dict(
+    seed=11,
+    samples=2,
+    events=120,
+    sample_size=128,
+    policy="deadline:128",
+    slos=("latency:0.2:0.9",),
+    timeseries_interval=1.0,
+)
+
+
+def run_traced(tmp_path, tag, pool_capacity=32, **overrides):
+    trace_path = tmp_path / f"trace-{tag}.jsonl"
+    config = SimConfig(
+        **{**BASE, **overrides},
+        pool_capacity=pool_capacity,
+        trace_path=str(trace_path),
+    )
+    report = run_simulation(config, instrumentation=Instrumentation())
+    return report.to_dict(), trace_path
+
+
+def test_same_seed_runs_are_byte_identical(tmp_path):
+    report_a, path_a = run_traced(tmp_path, "a")
+    report_b, path_b = run_traced(tmp_path, "b")
+    assert path_a.read_bytes() == path_b.read_bytes()
+    assert path_a.stat().st_size > 0
+    assert json.dumps(report_a["slo"], sort_keys=True) == json.dumps(
+        report_b["slo"], sort_keys=True
+    )
+    assert report_a["timeseries"] == report_b["timeseries"]
+
+
+def test_every_query_trace_reaches_the_device(tmp_path):
+    # Multi-block samples + a 2-frame pool: scans must miss and hit disk.
+    report, trace_path = run_traced(
+        tmp_path, "tree", pool_capacity=2, sample_size=2048, events=60
+    )
+    with open(trace_path, encoding="utf-8") as handle:
+        spans = read_spans_jsonl(handle)
+
+    by_trace = {}
+    for root in build_forest(spans):
+        by_trace.setdefault(root.trace_id, []).append(root)
+
+    run_id = SimConfig(**BASE).run_id
+    queries = [t for t in report["trace"] if t["kind"] == "query"]
+    assert queries, "workload produced no answered queries"
+    checked = 0
+    device_reads = 0
+    for entry in queries:
+        trace_id = f"{run_id}:{entry['seq']:06d}"
+        roots = by_trace.get(trace_id)
+        assert roots, f"no spans for query trace {trace_id}"
+        assert [r.name for r in roots] == ["serve.event"]
+        nodes = list(_walk(roots))
+        names = [node.name for node in nodes]
+        # The parent-linked chain: scheduler -> session -> pool (-> device).
+        assert "serve.query" in names
+        assert "session.read" in names
+        assert "storage.pool.read" in names
+        for node in nodes:
+            if node.name != "storage.pool.read":
+                continue
+            child_names = [c.name for c in node.children]
+            if node.record.get("hit"):
+                assert "storage.device.read" not in child_names
+            else:
+                # A miss must bottom out at the device, parent-linked.
+                assert "storage.device.read" in child_names
+                device_reads += 1
+        checked += 1
+    assert checked == len(queries)
+    assert device_reads > 0  # at least one query paid a real device read
+
+
+def test_span_identity_is_fully_linked(tmp_path):
+    _, trace_path = run_traced(tmp_path, "linked")
+    with open(trace_path, encoding="utf-8") as handle:
+        spans = read_spans_jsonl(handle)
+    ids = {record["span_id"] for record in spans}
+    assert len(ids) == len(spans)  # span ids unique across the whole run
+    for record in spans:
+        assert record["trace_id"] is not None
+        if record["parent_id"] is not None:
+            assert record["parent_id"] in ids
+
+
+def test_tracing_is_answer_invariant(tmp_path):
+    traced, _ = run_traced(tmp_path, "invariant")
+    bare = run_simulation(SimConfig(**BASE, pool_capacity=32)).to_dict()
+    compared = assert_same_answers(bare, traced)
+    assert compared > 0
+    # Cost accounting matches too: spans never charge the cost model.
+    assert traced["device"] == bare["device"]
+    assert traced["clock_seconds"] == bare["clock_seconds"]
+
+
+def test_slo_section_always_present_and_gateable(tmp_path):
+    report, _ = run_traced(tmp_path, "slo")
+    slo = report["slo"]
+    assert set(slo) == {"met", "objectives"}
+    assert "freshness" in slo["objectives"]
+    assert "latency:0.2:0.9" in slo["objectives"]
+    for entry in slo["objectives"].values():
+        assert entry["error_budget"]["consumed"] >= 0
+    # The bare run reports the always-on freshness contract too.
+    bare = run_simulation(SimConfig(**BASE, pool_capacity=32)).to_dict()
+    assert "freshness" in bare["slo"]["objectives"]
