@@ -276,6 +276,85 @@ def test_pool_refresh_cycle_throughput(benchmark, scale):
     assert pooled_accesses < bare_accesses
 
 
+def _replicated_cycle(
+    sample_size: int, initial: int, inserts: int, lag_budget: float
+):
+    """The pooled insert->refresh cycle with a replication link attached.
+
+    Mirrors ``_pool_cycle(64, ...)`` exactly, plus capture devices, a
+    group commit barrier sealing into the link, and budget-clocked
+    shipping to the replica -- the full primary-side replication tax.
+    Returns ``(primary_accesses, link)``.
+    """
+    from repro.replication.link import ReplicationLink
+    from repro.storage.group_commit import GroupCommitBarrier
+
+    cost = CostModel()
+    codec = IntRecordCodec()
+    rng = RandomSource(seed=17)
+    link = ReplicationLink(lag_budget=lag_budget)
+
+    def device(name):
+        return BufferPool(
+            link.attach(SimulatedBlockDevice(cost, name), name),
+            capacity=64,
+            readahead=8,
+        )
+
+    sample_device = device("sample")
+    log_device = device("log")
+    sample = SampleFile(sample_device, codec, sample_size)
+    sample.initialize(list(range(sample_size)))
+    maintainer = SampleMaintainer(
+        sample,
+        rng,
+        strategy="candidate",
+        initial_dataset_size=initial,
+        log=LogFile(log_device, codec),
+        algorithm=StackRefresh(),
+        policy=PeriodicPolicy(max(1, inserts // 4)),
+        cost_model=cost,
+        commit_group=GroupCommitBarrier([sample_device, log_device], link=link),
+    )
+    maintainer.insert_many(range(initial, initial + inserts))
+    maintainer.refresh()
+    # The post-refresh ship point (a manifest save's group commit in the
+    # catalog): the refresh itself is flush-only, so this seal is what
+    # turns the accumulated captures into a shippable batch.  Devices are
+    # clean after the refresh commit, so it costs no block accesses.
+    maintainer.commit_group.commit()
+    link.ship_due(cost.cost_seconds())
+    link.ship_all()
+    return cost.stats.total_accesses, link
+
+
+def test_replicated_refresh_cycle_throughput(benchmark, scale):
+    """Insert->refresh->ship with replication attached; gated like pool.
+
+    The contract under test is PR 8's: capture is free on the primary
+    (bit-identical device accesses to the pooled cycle) and the whole
+    seal/ship/apply pipeline costs only Python time, which this gate
+    keeps bounded.
+    """
+    sample_size, initial_dataset, inserts = _insert_workload(scale)
+    pooled_accesses = _pool_cycle(64, sample_size, initial_dataset, inserts)
+
+    def run():
+        return _replicated_cycle(
+            sample_size, initial_dataset, inserts, lag_budget=0.0
+        )
+
+    replicated_accesses, link = benchmark(run)
+    benchmark.extra_info["elements"] = inserts
+    benchmark.extra_info["elements_per_sec"] = inserts / benchmark.stats.stats.mean
+    benchmark.extra_info["batches_shipped"] = link.batches_shipped
+    benchmark.extra_info["bytes_shipped"] = link.bytes_shipped
+    # Capture must not charge the primary a single extra block access.
+    assert replicated_accesses == pooled_accesses
+    assert link.batches_shipped == link.batches_sealed > 0
+    assert link.applier.applied_seq == link.batches_shipped
+
+
 def test_stream_generation_batch(benchmark, scale):
     """Batched stream source: producer-side cost of one refresh period."""
     _, _, count = _insert_workload(scale)

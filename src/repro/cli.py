@@ -105,6 +105,10 @@ def _build_parser() -> argparse.ArgumentParser:
     from repro.obs.trace_cli import add_trace_parser
 
     add_trace_parser(sub)
+
+    from repro.replication.cli import add_dr_drill_parser
+
+    add_dr_drill_parser(sub)
     return parser
 
 
@@ -148,6 +152,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.trace_cli import run_trace_command
 
         return run_trace_command(args)
+
+    if args.command == "dr-drill":
+        from repro.replication.cli import run_dr_drill_command
+
+        return run_dr_drill_command(args)
 
     if args.command == "validate":
         from repro.experiments.validation import validate_engine

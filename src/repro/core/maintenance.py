@@ -28,8 +28,8 @@ from repro.core.reservoir import ReservoirSampler
 from repro.obs.api import Instrumentation, maybe_span
 from repro.obs.catalogue import COUNT_BUCKETS, SECONDS_BUCKETS
 from repro.rng.random_source import RandomSource
-from repro.storage.bufferpool import flush_barrier
 from repro.storage.cost_model import AccessStats, CostModel
+from repro.storage.group_commit import GroupCommitBarrier
 from repro.storage.files import LogFile, SampleFile
 
 __all__ = ["SampleMaintainer", "MaintenanceStats"]
@@ -96,6 +96,7 @@ class SampleMaintainer:
         cost_model: CostModel | None = None,
         skip_method: str = "auto",
         instrumentation: Instrumentation | None = None,
+        commit_group: GroupCommitBarrier | None = None,
     ) -> None:
         if strategy not in _STRATEGIES:
             raise ValueError(f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
@@ -118,6 +119,16 @@ class SampleMaintainer:
         self._skip_method = skip_method
         self.stats = MaintenanceStats()
         self._ops_since_refresh = 0
+        if commit_group is None:
+            # Default group: the devices this maintainer mutates.  One
+            # barrier spanning them replaces the per-device flushes the
+            # refresh commit used to issue (identical behaviour without a
+            # replication link; with one, every commit seals a batch).
+            devices = [sample.device]
+            if log is not None and log.device is not sample.device:
+                devices.append(log.device)
+            commit_group = GroupCommitBarrier(devices)
+        self._commit_group = commit_group
 
         if strategy == "immediate":
             self._reservoir = ReservoirSampler(
@@ -466,6 +477,7 @@ class SampleMaintainer:
         cost_model: CostModel | None = None,
         skip_method: str = "auto",
         instrumentation: Instrumentation | None = None,
+        commit_group: GroupCommitBarrier | None = None,
     ) -> "SampleMaintainer":
         """Resume maintenance from a checkpoint: bit-exact continuation.
 
@@ -499,6 +511,7 @@ class SampleMaintainer:
             cost_model=cost_model,
             skip_method=skip_method,
             instrumentation=instrumentation,
+            commit_group=commit_group,
         )
         # Restore the counters the constructor cannot know.
         if maintainer._reservoir is not None:
@@ -522,12 +535,21 @@ class SampleMaintainer:
             maintainer._sync_gauges()
         return maintainer
 
+    @property
+    def commit_group(self) -> GroupCommitBarrier:
+        """The multi-device commit barrier guarding refresh/checkpoint commits."""
+        return self._commit_group
+
     def _flush_devices(self) -> None:
-        """Flush barrier on the sample and log devices (no-op unpooled)."""
-        flush_barrier(self._sample.device)
-        log = self._log_file()
-        if log is not None and log.device is not self._sample.device:
-            flush_barrier(log.device)
+        """Group-commit flush across the maintainer's devices (no-op unpooled).
+
+        Flush-only (``seal=False``): refresh commits and pre-checkpoint
+        flushes make the devices durable and mutually consistent, but the
+        replication ship point is the *manifest save* -- the checkpoint
+        store's own group commit seals everything accumulated since the
+        last boundary, so the replica only ever holds resumable states.
+        """
+        self._commit_group.commit(seal=False)
 
     # -- telemetry -------------------------------------------------------------
 

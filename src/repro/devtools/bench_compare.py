@@ -3,14 +3,16 @@
 Compares a freshly produced pytest-benchmark JSON report against the
 committed baseline (``benchmarks/BENCH_core_ops.json``) and fails when a
 gated benchmark's throughput dropped by more than the threshold.  By
-default the **batch-path**, **pool**, **lint** and **trace** benchmarks
-are gated (names matching ``batch|pool|lint|trace``): the batch path
-carries the paper's O(accepted) scaling claim, the pooled refresh cycle
-carries PR 5's access-reduction claim, the whole-program lint runtime
-guards the analysis engine's per-PR latency, and the serve-trace
-benchmark guards the observability layer's overhead when tracing is
-*enabled*, while the scalar benchmarks exist as the comparison floor
-and may drift with interpreter noise.
+default the **batch-path**, **pool**, **lint**, **trace** and **repl**
+benchmarks are gated (names matching ``batch|pool|lint|trace|repl``):
+the batch path carries the paper's O(accepted) scaling claim, the
+pooled refresh cycle carries PR 5's access-reduction claim, the
+whole-program lint runtime guards the analysis engine's per-PR latency,
+the serve-trace benchmark guards the observability layer's overhead
+when tracing is *enabled*, and the replicated refresh cycle guards the
+capture/seal/ship path's overhead on the primary, while the scalar
+benchmarks exist as the comparison floor and may drift with interpreter
+noise.
 
 Throughput is read from ``extra_info["elements_per_sec"]`` when the
 benchmark recorded it (benchmarks/bench_core_ops.py does), falling back
@@ -40,7 +42,7 @@ __all__ = [
 
 DEFAULT_BASELINE = Path("benchmarks") / "BENCH_core_ops.json"
 DEFAULT_THRESHOLD = 0.25
-DEFAULT_SELECT = "batch|pool|lint|trace"
+DEFAULT_SELECT = "batch|pool|lint|trace|repl"
 
 
 @dataclass(frozen=True)

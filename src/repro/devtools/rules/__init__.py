@@ -4,6 +4,7 @@ from repro.devtools.rules import (  # noqa: F401  (imported for registration)
     api001,
     arg001,
     bar001,
+    bar002,
     det001,
     flt001,
     io001,
@@ -19,6 +20,7 @@ __all__ = [
     "api001",
     "arg001",
     "bar001",
+    "bar002",
     "det001",
     "flt001",
     "io001",

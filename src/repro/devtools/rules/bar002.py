@@ -1,0 +1,175 @@
+"""BAR002: commit sites are dominated by the *group* commit barrier.
+
+BAR001 demands that a checkpoint commit sees *some* flush first; with
+replication in the tree (docs/replication.md) that is no longer enough.
+The replica replays sealed commit batches, and a batch is only safe to
+ship if every device of the sample group -- sample file, candidate log,
+superblock manifest -- was written back under **one**
+:class:`~repro.storage.group_commit.GroupCommitBarrier` before the batch
+was sealed.  A per-device flush keeps the primary durable but lets the
+replication stream ship a torn multi-device view, which recovery then
+faithfully reproduces.
+
+Two commit shapes are checked, in the same dominance terms as BAR001:
+
+* **Checkpoint commits** -- call sites resolving to ``save`` on any
+  ``*CheckpointStore*`` class must be covered (argument position, or a
+  strictly-dominating statement) by a call that *reaches a group
+  commit*: its resolved targets include, or transitively call, a
+  ``commit`` method of a ``*GroupCommit*`` class.  This is a
+  may-analysis over the call graph, the same approximation BAR001 makes
+  with transitive ``may_flush`` effects.
+* **Replication seals** -- ``<expr>.seal(...)`` attribute calls (the
+  :class:`~repro.replication.link.ReplicationLink` hand-off inside the
+  barrier; matched by name because the link attribute is duck-typed)
+  must be dominated by a flushing call, so a sealed batch only ever
+  describes blocks that are already durable on the primary.
+
+The roots themselves are exempt: ``save`` supplies its own trailing
+barrier and ``GroupCommitBarrier.commit`` *is* the barrier -- but the
+seal inside ``commit`` is still checked, which is exactly why its flush
+phase is a separate statement preceding the seal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ProjectRule, register
+from repro.devtools.runner import ProjectContext
+from repro.devtools.rules.bar001 import _calls_under
+
+__all__ = ["GroupCommitBarrierRule"]
+
+
+def _is_seal_site(node: ast.Call | None) -> bool:
+    return (
+        node is not None
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "seal"
+    )
+
+
+@register
+class GroupCommitBarrierRule(ProjectRule):
+    id = "BAR002"
+    title = "commit site not dominated by the group commit barrier"
+    rationale = (
+        "Replica state is a prefix of commit batches; a checkpoint "
+        "committed outside the group barrier, or a batch sealed before "
+        "its blocks are durable, ships a torn multi-device view that "
+        "recovery reproduces bit-for-bit."
+    )
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        from repro.devtools.callgraph import analyze_project
+        from repro.devtools.cfg import build_cfg
+        from repro.devtools.effects import call_effects
+
+        analysis = analyze_project(ctx)
+        commit_roots = {
+            qual
+            for qual, fn in analysis.functions.items()
+            if fn.name == "save"
+            and fn.cls is not None
+            and "CheckpointStore" in fn.cls
+        }
+        group_roots = {
+            qual
+            for qual, fn in analysis.functions.items()
+            if fn.name == "commit"
+            and fn.cls is not None
+            and "GroupCommit" in fn.cls
+        }
+        # Everything from which a group commit is reachable through the
+        # call graph (callers-closure over the roots).
+        reaches_group = set(group_roots)
+        frontier = list(group_roots)
+        while frontier:
+            for caller in analysis.callers(frontier.pop()):
+                if caller not in reaches_group:
+                    reaches_group.add(caller)
+                    frontier.append(caller)
+        effects = analysis.effects
+
+        def call_flushes(call: ast.Call, site_index: dict) -> bool:
+            if "may_flush" in call_effects(call):
+                return True
+            site = site_index.get(id(call))
+            if site is None:
+                return False
+            return any("may_flush" in effects.get(t, ()) for t in site.targets)
+
+        def call_group_commits(call: ast.Call, site_index: dict) -> bool:
+            site = site_index.get(id(call))
+            if site is None:
+                return False
+            return any(target in reaches_group for target in site.targets)
+
+        for fn_qual in sorted(analysis.functions):
+            fn = analysis.functions[fn_qual]
+            checkpoint_sites = (
+                []
+                if fn_qual in commit_roots or not group_roots
+                else [
+                    site
+                    for site in fn.calls
+                    if site.node is not None and set(site.targets) & commit_roots
+                ]
+            )
+            seal_sites = [site for site in fn.calls if _is_seal_site(site.node)]
+            if not checkpoint_sites and not seal_sites:
+                continue
+            cfg = build_cfg(fn.node)
+            site_index = {
+                id(site.node): site for site in fn.calls if site.node is not None
+            }
+
+            def covered(site, qualifies) -> bool:
+                node = cfg.containing(site.node)
+                if node is None:
+                    return False
+                # Calls the commit statement itself evaluates (argument
+                # position) run first by evaluation order and count.
+                for call in _calls_under(node.stmt):
+                    if call is not site.node and qualifies(call, site_index):
+                        return True
+                return any(
+                    qualifies(call, site_index)
+                    for dom in cfg.strictly_dominating(node.index)
+                    for call in _calls_under(dom.stmt)
+                )
+
+            for site in checkpoint_sites:
+                if not covered(site, call_group_commits):
+                    yield Finding(
+                        path=fn.rel_path,
+                        line=site.line,
+                        col=site.col,
+                        rule_id=self.id,
+                        message=(
+                            f"checkpoint commit '{site.name}' in "
+                            f"'{fn.name}' is not dominated by a group "
+                            "commit barrier: run GroupCommitBarrier.commit "
+                            "over the sample group on every path before "
+                            "the superblock commit, or the replication "
+                            "stream can ship a torn multi-device view"
+                        ),
+                    )
+            for site in seal_sites:
+                if not covered(site, call_flushes):
+                    yield Finding(
+                        path=fn.rel_path,
+                        line=site.line,
+                        col=site.col,
+                        rule_id=self.id,
+                        message=(
+                            f"replication seal '{site.name}' in "
+                            f"'{fn.name}' is not dominated by a flush "
+                            "barrier: a sealed commit batch must only "
+                            "describe blocks already durable on the "
+                            "primary"
+                        ),
+                    )

@@ -38,7 +38,7 @@ NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
 CATALOGUE_REL_PATH = "obs/catalogue.py"
 EMIT_METHODS = frozenset({"counter", "gauge", "histogram"})
 #: Module prefixes whose span emit sites must use catalogued names.
-SPAN_CHECKED_PREFIXES = ("serve/", "storage/")
+SPAN_CHECKED_PREFIXES = ("serve/", "storage/", "replication/")
 
 
 def _literal_dict_keys(ctx: ProjectContext, variable: str) -> set[str] | None:

@@ -161,6 +161,21 @@ INSTRUMENTS: dict[str, InstrumentSpec] = {
     "serve.catalog_samples": InstrumentSpec(
         "gauge", "samples registered in the serving catalog"
     ),
+    # -- replication link + replica site (repro.replication) ----------------
+    "replication.lag_seconds": InstrumentSpec(
+        "gauge",
+        "cost-seconds the last shipped commit batch waited in the outbox",
+        "seconds",
+    ),
+    "replication.shipped_batches": InstrumentSpec(
+        "counter", "commit batches shipped to the replica"
+    ),
+    "replication.shipped_bytes": InstrumentSpec(
+        "counter", "block payload bytes shipped to the replica", "bytes"
+    ),
+    "replication.backlog_batches": InstrumentSpec(
+        "gauge", "sealed commit batches waiting in the primary's outbox"
+    ),
     # -- vectorised experiment engine ---------------------------------------
     "engine.candidates": InstrumentSpec(
         "counter", "candidates realised by the vectorised engine", "elements"
@@ -209,10 +224,17 @@ SPANS: dict[str, str] = {
     "session.read": "QuerySession read path (freshness check + scan + estimate)",
     "session.refresh_forced": "refresh forced on the read path by a contract",
     "session.scan": "full sample scan feeding the estimator",
+    # -- replication (repro.replication) -------------------------------------
+    "replication.ship": "one commit batch shipped to the replica (attrs: lag)",
+    "replication.apply": "one commit batch replayed onto replica devices",
     # -- storage engine (repro.storage), deep-trace mode only ----------------
     "storage.pool.read": "buffer-pool read (attrs: hit) -- trace_storage only",
     "storage.pool.write": "buffer-pool buffered write -- trace_storage only",
     "storage.pool.flush": "buffer-pool flush barrier -- trace_storage only",
     "storage.device.read": "block-device read charge -- trace_storage only",
     "storage.device.write": "block-device write charge -- trace_storage only",
+    "storage.group_commit": (
+        "multi-device group commit barrier (flush + replication seal) -- "
+        "trace_storage only"
+    ),
 }

@@ -1,0 +1,242 @@
+"""The disaster-recovery drill: crash the primary, fail over, compare bytes.
+
+A drill is a fully deterministic, seed-reproducible experiment:
+
+1. **Probe** -- run the configured serve workload (replicated catalog,
+   buffer-pooled devices, group commits) with an *unarmed* shared
+   :class:`~repro.storage.fault_injection.CrashBudget`, which counts
+   every durable write across all devices and records the write-index
+   windows that fall inside group-commit barriers.
+2. **Aim** -- derive a crash point from the seed: any write in the run
+   (``crash_phase="any"``), or one strictly inside a commit barrier
+   (``crash_phase="barrier"``, the hardest case -- the multi-device
+   flush is mid-flight, with torn-write splicing enabled).
+3. **Crash** -- re-run the identical workload with the budget armed; the
+   chosen write raises
+   :class:`~repro.storage.fault_injection.InjectedCrash`, killing the
+   primary.  Sealed-but-unshipped batches die with it.
+4. **Recover** -- :func:`~repro.replication.recovery.recover_from_replica`
+   rebuilds a catalog from what the replica had applied.
+5. **Verify** -- three independent byte-level checks must agree:
+   the replica's self-computed digest equals the primary's shadow digest
+   for the recovery boundary (the non-circular witness); the recovered
+   catalog's devices equal the replica's; and the recovered canonical
+   image equals one rebuilt purely from the primary's sealed history
+   prefix.  The CI job additionally ``cmp``\\ s the dumped artifacts
+   across two same-seed runs to pin determinism.
+
+Artifacts (``primary.img``, ``recovered.img``, ``drill-report.json``)
+are byte-stable: no wall-clock timestamps, canonical serialisation,
+sorted JSON keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.replication.link import ReplicationLink
+from repro.replication.recovery import RecoveryResult, recover_from_replica
+from repro.rng.random_source import RandomSource
+from repro.storage.fault_injection import CrashBudget, InjectedCrash
+from repro.storage.replicated import apply_to_image, canonical_image, image_digest
+
+__all__ = ["DrillConfig", "run_drill"]
+
+_CRASH_PHASES = ("any", "barrier")
+
+
+@dataclass(frozen=True)
+class DrillConfig:
+    """One drill's complete, deterministic parameterisation."""
+
+    seed: int = 1
+    samples: int = 2
+    sample_size: int = 48
+    events: int = 120
+    batch_size: int = 16
+    refresh_every: int = 5
+    checkpoint_every: int = 9
+    algorithm: str = "stack"
+    lag_budget: float = 0.0
+    pool_capacity: int = 8
+    record_size: int = 32
+    #: explicit 1-based crash write index; ``None`` derives one from the seed
+    crash_after: "int | None" = None
+    #: ``"any"`` write, or only writes inside a group-commit ``"barrier"``
+    crash_phase: str = "any"
+
+    def __post_init__(self) -> None:
+        if self.crash_phase not in _CRASH_PHASES:
+            raise ValueError(
+                f"crash_phase must be one of {_CRASH_PHASES}, got "
+                f"{self.crash_phase!r}"
+            )
+        if self.samples < 1 or self.events < 1:
+            raise ValueError("samples and events must be positive")
+        if self.crash_after is not None and self.crash_after < 1:
+            raise ValueError("crash_after is a 1-based write index")
+
+
+def _mix(seed: int, salt: str) -> int:
+    """Seed-derived deterministic integer (no ambient randomness)."""
+    digest = hashlib.sha256(f"{seed}:{salt}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _build_catalog(
+    config: DrillConfig, link: ReplicationLink, budget: CrashBudget
+):
+    """The drill's primary: a replicated, pooled, crash-instrumented catalog."""
+    from repro.serve.catalog import SampleCatalog
+
+    catalog = SampleCatalog(
+        pool_capacity=config.pool_capacity,
+        replication=link,
+        crash_budget=budget,
+        torn_writes=True,
+    )
+    for index in range(config.samples):
+        catalog.create(
+            f"drill{index:02d}",
+            sample_size=config.sample_size,
+            algorithm=config.algorithm,
+            seed=config.seed + index,
+            record_size=config.record_size,
+        )
+        link.ship_due(catalog.cost_model.cost_seconds())
+    return catalog
+
+
+def _run_workload(config: DrillConfig, catalog, link: ReplicationLink) -> None:
+    """Seeded ingest/refresh/checkpoint mix over every catalogued sample."""
+    rng = RandomSource(_mix(config.seed, "workload") & 0x7FFFFFFF)
+    names = catalog.names()
+    for step in range(config.events):
+        name = names[step % len(names)]
+        batch = [rng.randrange(1 << 30) for _ in range(config.batch_size)]
+        catalog.ingest(name, batch)
+        if (step + 1) % config.refresh_every == 0:
+            catalog.refresh(name)
+        if (step + 1) % config.checkpoint_every == 0:
+            catalog.checkpoint(name)
+        link.ship_due(catalog.cost_model.cost_seconds())
+
+
+def _probe(config: DrillConfig) -> CrashBudget:
+    """Unarmed dry run: count writes, map the group-commit windows."""
+    budget = CrashBudget()
+    link = ReplicationLink(lag_budget=config.lag_budget)
+    catalog = _build_catalog(config, link, budget)
+    _run_workload(config, catalog, link)
+    return budget
+
+def _aim(config: DrillConfig, probe: CrashBudget) -> tuple[int, bool]:
+    """(crash write index, lands-inside-a-barrier) for this drill."""
+    total = probe.writes_seen
+    if total == 0:
+        raise RuntimeError("probe run performed no durable writes")
+    if config.crash_after is not None:
+        point = config.crash_after
+    elif config.crash_phase == "barrier":
+        windows = probe.commit_windows
+        if not windows:
+            raise RuntimeError("probe run recorded no group-commit windows")
+        first, last = windows[_mix(config.seed, "window") % len(windows)]
+        point = first + _mix(config.seed, "offset") % (last - first + 1)
+    else:
+        point = 1 + _mix(config.seed, "point") % total
+    in_barrier = any(
+        first <= point <= last for first, last in probe.commit_windows
+    )
+    return point, in_barrier
+
+
+def run_drill(config: DrillConfig, out_dir: "str | Path | None" = None) -> dict:
+    """Execute one drill end to end; returns the byte-stable report dict.
+
+    When ``out_dir`` is given, dumps ``primary.img`` (canonical primary
+    state at the recovery boundary, rebuilt from the sealed history),
+    ``recovered.img`` (canonical recovered-catalog state) and
+    ``drill-report.json`` there for the CI job's ``cmp`` checks.
+    """
+    probe = _probe(config)
+    point, in_barrier = _aim(config, probe)
+
+    # The armed run: identical stream, write #point raises InjectedCrash.
+    budget = CrashBudget(writes_until_crash=point - 1)
+    link = ReplicationLink(lag_budget=config.lag_budget)
+    crashed = False
+    try:
+        catalog = _build_catalog(config, link, budget)
+        _run_workload(config, catalog, link)
+    except InjectedCrash:
+        crashed = True
+
+    applied = link.applier.applied_seq
+    expected_digest = (
+        link.history[applied - 1].digest if applied > 0 else image_digest({})
+    )
+    replica_digest = link.applier.digest()
+    recovery: RecoveryResult = recover_from_replica(
+        link.applier,
+        algorithm=config.algorithm,
+        record_size=config.record_size,
+    )
+
+    # Rebuild the primary's durable state at the recovery boundary from
+    # the sealed history alone -- a third, independent reconstruction.
+    rebuilt: dict[str, dict[int, bytes]] = {}
+    for batch in link.history[:applied]:
+        for name, record in batch.records:
+            apply_to_image(rebuilt.setdefault(name, {}), [record])
+    primary_bytes = canonical_image(rebuilt)
+    recovered_bytes = canonical_image(recovery.images)
+
+    checks = {
+        "crash_injected": crashed,
+        "witness_digest": replica_digest == expected_digest,
+        "recovered_matches_replica": recovery.consistent,
+        "bytes_identical": primary_bytes == recovered_bytes,
+    }
+    report = {
+        "config": asdict(config),
+        "probe": {
+            "total_writes": probe.writes_seen,
+            "commit_windows": len(probe.commit_windows),
+        },
+        "crash": {
+            "point": point,
+            "phase": config.crash_phase,
+            "in_barrier": in_barrier,
+        },
+        "replication": {
+            "batches_sealed": link.batches_sealed,
+            "batches_shipped": link.batches_shipped,
+            "batches_lost": link.batches_sealed - link.batches_shipped,
+            "bytes_shipped": link.bytes_shipped,
+            "applied_seq": applied,
+        },
+        "recovery": {
+            "recovered": recovery.recovered,
+            "skipped": recovery.skipped,
+        },
+        "digests": {
+            "expected": expected_digest,
+            "replica": replica_digest,
+            "recovered": recovery.recovered_digest,
+        },
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+    if out_dir is not None:
+        directory = Path(out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "primary.img").write_bytes(primary_bytes)
+        (directory / "recovered.img").write_bytes(recovered_bytes)
+        (directory / "drill-report.json").write_text(
+            json.dumps(report, sort_keys=True, indent=2) + "\n"
+        )
+    return report

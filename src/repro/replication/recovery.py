@@ -1,0 +1,145 @@
+"""Disaster recovery: rebuild a live catalog from the replica, bit-exactly.
+
+``recover_from_replica`` is the failover path: the primary is gone
+(crashed, disk lost, process killed mid-group-commit) and all that
+survives is the replica -- the checkpoint-boundary prefix the
+:class:`~repro.replication.applier.ReplicaApplier` had applied when the
+primary died.
+
+Recovery images every replica device, clones the images onto fresh
+devices of a new :class:`~repro.serve.catalog.SampleCatalog`, and adopts
+each sample through its shipped superblock manifest.  Because manifests
+carry the complete maintenance state -- dataset size, log length, full
+MT19937 state -- an adopted sample resumes maintenance *bit-identically*
+to the primary as of its last shipped checkpoint boundary (the same
+argument as local crash recovery, extended across the replication hop;
+property-tested in ``tests/properties/test_prop_replication.py``).
+
+A sample whose manifest never shipped (the primary died before that
+sample's first sealed checkpoint reached the replica) is reported as
+skipped, not silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.replication.applier import ReplicaApplier
+from repro.storage.cost_model import CostModel
+from repro.storage.replicated import device_image, image_digest
+from repro.storage.superblock import CheckpointError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.policies import RefreshPolicy
+    from repro.obs.api import Instrumentation
+    from repro.serve.catalog import SampleCatalog
+
+__all__ = ["RecoveryResult", "recover_from_replica"]
+
+#: The three per-sample device roles the catalog provisions.
+_ROLES = ("sample", "log", "meta")
+
+
+@dataclass
+class RecoveryResult:
+    """What a replica failover produced, and the witnesses to check it."""
+
+    catalog: "SampleCatalog"
+    #: samples adopted from shipped manifests, in name order
+    recovered: list[str] = field(default_factory=list)
+    #: samples present on the replica but without a loadable manifest
+    skipped: list[str] = field(default_factory=list)
+    #: newest commit batch the replica had applied (the recovery point)
+    applied_seq: int = 0
+    #: digest the replica computed over its own devices
+    replica_digest: str = ""
+    #: digest over the recovered catalog's devices (must equal the above)
+    recovered_digest: str = ""
+    #: the recovered catalog's device images (the DR drill's artifact bytes)
+    images: dict = field(default_factory=dict)
+
+    @property
+    def consistent(self) -> bool:
+        """True when the rebuilt catalog is byte-identical to the replica."""
+        return self.recovered_digest == self.replica_digest
+
+
+def _sample_names(images: dict[str, dict[int, bytes]]) -> list[str]:
+    """Distinct sample names behind ``<name>.sample/.log/.meta`` devices."""
+    names = set()
+    for device_name in images:
+        stem, _, role = device_name.rpartition(".")
+        if stem and role in _ROLES:
+            names.add(stem)
+    return sorted(names)
+
+
+def recover_from_replica(
+    applier: ReplicaApplier,
+    algorithm: str = "stack",
+    policy_factory: "Callable[[str], RefreshPolicy | None] | None" = None,
+    record_size: int = 32,
+    cost_model: CostModel | None = None,
+    instrumentation: "Instrumentation | None" = None,
+    pool_capacity: int = 0,
+) -> RecoveryResult:
+    """Rebuild a fresh catalog from the replica's device images.
+
+    ``algorithm``, ``policy_factory`` and ``record_size`` re-supply the
+    configuration that lives outside the shipped byte stream (the
+    manifest persists the maintenance *state*; the refresh algorithm and
+    policy are deployment configuration, exactly as in
+    :meth:`SampleCatalog.reopen`).
+    """
+    # Imported here: serve builds on replication (the simulator creates
+    # links), so the module-level direction is serve -> replication.
+    from repro.serve.catalog import SampleCatalog
+
+    catalog = SampleCatalog(
+        cost_model=cost_model,
+        instrumentation=instrumentation,
+        pool_capacity=pool_capacity,
+    )
+    images = applier.images()
+    result = RecoveryResult(
+        catalog=catalog,
+        applied_seq=applier.applied_seq,
+        replica_digest=applier.digest(),
+    )
+    for name in _sample_names(images):
+        role_images = {
+            role: images.get(f"{name}.{role}", {}) for role in _ROLES
+        }
+        if not any(role_images.values()):
+            continue  # attached but never written: nothing to recover
+        policy = policy_factory(name) if policy_factory is not None else None
+        try:
+            catalog.adopt(
+                name,
+                role_images,
+                algorithm=algorithm,
+                policy=policy,
+                record_size=record_size,
+            )
+        except CheckpointError:
+            result.skipped.append(name)
+            continue
+        result.recovered.append(name)
+    recovered_images: dict[str, dict[int, bytes]] = {}
+    for name in result.recovered:
+        entry = catalog.entry(name)
+        recovered_images[f"{name}.sample"] = device_image(entry.sample_device)
+        recovered_images[f"{name}.log"] = device_image(entry.log_device)
+        recovered_images[f"{name}.meta"] = device_image(entry.meta_device)
+    result.images = recovered_images
+    result.recovered_digest = image_digest(recovered_images)
+    if instrumentation is not None:
+        instrumentation.emit(
+            "replication.recovered",
+            samples=len(result.recovered),
+            skipped=len(result.skipped),
+            applied_seq=result.applied_seq,
+            consistent=result.consistent,
+        )
+    return result

@@ -32,12 +32,16 @@ from repro.rng.random_source import RandomSource
 from repro.storage.block_device import BlockDevice, SimulatedBlockDevice
 from repro.storage.bufferpool import BufferPool
 from repro.storage.cost_model import CostModel
+from repro.storage.fault_injection import CrashBudget, FaultInjectionDevice
 from repro.storage.files import LogFile, SampleFile
+from repro.storage.group_commit import GroupCommitBarrier
 from repro.storage.records import IntRecordCodec, RecordCodec
+from repro.storage.replicated import clone_image
 from repro.storage.superblock import DualSlotCheckpointStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.api import Instrumentation
+    from repro.replication.link import ReplicationLink
 
 __all__ = ["CatalogEntry", "SampleCatalog", "ALGORITHMS"]
 
@@ -73,6 +77,10 @@ class CatalogEntry:
     sample_device: BlockDevice
     log_device: BlockDevice
     meta_device: BlockDevice
+    #: one commit point spanning the three devices above; refresh commits
+    #: run through it flush-only, manifest saves seal -- so, when the
+    #: catalog is replicated, every sealed batch is a checkpoint boundary
+    commit_group: GroupCommitBarrier | None = None
 
 
 class SampleCatalog:
@@ -84,6 +92,9 @@ class SampleCatalog:
         instrumentation: "Instrumentation | None" = None,
         pool_capacity: int = 0,
         pool_readahead: int = 8,
+        replication: "ReplicationLink | None" = None,
+        crash_budget: CrashBudget | None = None,
+        torn_writes: bool = False,
     ) -> None:
         if pool_capacity < 0:
             raise ValueError("pool_capacity must be non-negative")
@@ -92,6 +103,9 @@ class SampleCatalog:
         self._pool_capacity = pool_capacity
         self._pool_readahead = pool_readahead
         self._pools: list[BufferPool] = []
+        self._replication = replication
+        self._crash_budget = crash_budget
+        self._torn_writes = torn_writes
         self._manager = MultiSampleManager(self._cost_model)
         self._entries: dict[str, CatalogEntry] = {}
         if instrumentation is not None:
@@ -110,6 +124,11 @@ class SampleCatalog:
     @property
     def pool_capacity(self) -> int:
         return self._pool_capacity
+
+    @property
+    def replication(self) -> "ReplicationLink | None":
+        """The replication link shipping this catalog's commits, if any."""
+        return self._replication
 
     def pool_stats(self) -> dict:
         """Aggregate page-cache counters across every per-sample pool.
@@ -144,10 +163,26 @@ class SampleCatalog:
         return totals
 
     def _make_device(self, name: str) -> BlockDevice:
-        """One simulated device, wrapped in a pool when a cache is configured."""
+        """One simulated device, decorated per the catalog's configuration.
+
+        Stack, inside out: simulated device, replication capture, fault
+        injection, buffer pool.  The fault layer sits *outside* the
+        replication capture so a crashed write is neither durable nor
+        recorded for shipping, and the pool sits on top so cached frames
+        are RAM that a crash loses (see ``docs/replication.md``).
+        """
         device: BlockDevice = SimulatedBlockDevice(
             self._cost_model, name=name, instrumentation=self._instr
         )
+        if self._replication is not None:
+            device = self._replication.attach(device, name=name)
+        if self._crash_budget is not None:
+            device = FaultInjectionDevice(
+                device,
+                instrumentation=self._instr,
+                torn_writes=self._torn_writes,
+                crash_budget=self._crash_budget,
+            )
         if self._pool_capacity > 0:
             pool = BufferPool(
                 device,
@@ -159,6 +194,15 @@ class SampleCatalog:
             self._pools.append(pool)
             return pool
         return device
+
+    def _make_commit_group(self, *devices: BlockDevice) -> GroupCommitBarrier:
+        """One barrier spanning a sample's devices (sample, log, manifest)."""
+        return GroupCommitBarrier(
+            devices,
+            link=self._replication,
+            fault_budget=self._crash_budget,
+            instrumentation=self._instr,
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -226,6 +270,9 @@ class SampleCatalog:
         sample.initialize(values)
         log = LogFile(log_device, codec)
         refresh_policy = policy if policy is not None else ManualPolicy()
+        commit_group = self._make_commit_group(
+            sample_device, log_device, meta_device
+        )
         maintainer = SampleMaintainer(
             sample,
             rng,
@@ -236,8 +283,9 @@ class SampleCatalog:
             policy=refresh_policy,
             cost_model=self._cost_model,
             instrumentation=self._instr,
+            commit_group=commit_group,
         )
-        store = DualSlotCheckpointStore(meta_device)
+        store = DualSlotCheckpointStore(meta_device, commit_barrier=commit_group)
         entry = CatalogEntry(
             name=name,
             algorithm=algorithm,
@@ -250,6 +298,7 @@ class SampleCatalog:
             sample_device=sample_device,
             log_device=log_device,
             meta_device=meta_device,
+            commit_group=commit_group,
         )
         self._manager.add(name, maintainer)
         self._entries[name] = entry
@@ -297,6 +346,7 @@ class SampleCatalog:
             policy=entry.policy,
             cost_model=self._cost_model,
             instrumentation=self._instr,
+            commit_group=entry.commit_group,
         )
         entry.maintainer = maintainer
         entry.sample = sample
@@ -314,6 +364,87 @@ class SampleCatalog:
     def reopen_all(self) -> None:
         for name in self._entries:
             self.reopen(name)
+
+    def adopt(
+        self,
+        name: str,
+        images: dict[str, dict[int, bytes]],
+        algorithm: str = "stack",
+        policy: RefreshPolicy | None = None,
+        record_size: int = 32,
+    ) -> CatalogEntry:
+        """Adopt a sample from replica device images (disaster recovery).
+
+        ``images`` maps the device roles ``sample``/``log``/``meta`` to
+        ``block -> bytes`` maps (see
+        :func:`repro.storage.device_image`).  The images are cloned onto
+        fresh devices without charging I/O -- they already paid their
+        cost on the replica -- then the sample is brought up exactly like
+        :meth:`reopen`: load the newest valid manifest, rebuild the
+        files, restore the maintainer bit-exactly.  Raises
+        :class:`~repro.storage.superblock.CheckpointError` (adopting
+        nothing) when the manifest image has no loadable slot.
+        """
+        if name in self._entries:
+            raise ValueError(f"sample {name!r} already catalogued")
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"algorithm must be one of {tuple(ALGORITHMS)}, got {algorithm!r}"
+            )
+        codec = IntRecordCodec(record_size)
+        sample_device = self._make_device(f"{name}.sample")
+        log_device = self._make_device(f"{name}.log")
+        meta_device = self._make_device(f"{name}.meta")
+        for device, role in (
+            (sample_device, "sample"),
+            (log_device, "log"),
+            (meta_device, "meta"),
+        ):
+            clone_image(device, images.get(role, {}))
+        commit_group = self._make_commit_group(
+            sample_device, log_device, meta_device
+        )
+        store = DualSlotCheckpointStore(meta_device, commit_barrier=commit_group)
+        checkpoint = store.load()
+        sample = SampleFile(sample_device, codec, checkpoint.sample_size)
+        log = LogFile(log_device, codec)
+        refresh_policy = policy if policy is not None else ManualPolicy()
+        maintainer = SampleMaintainer.from_checkpoint(
+            checkpoint,
+            sample,
+            log=log,
+            algorithm=ALGORITHMS[algorithm](),
+            policy=refresh_policy,
+            cost_model=self._cost_model,
+            instrumentation=self._instr,
+            commit_group=commit_group,
+        )
+        entry = CatalogEntry(
+            name=name,
+            algorithm=algorithm,
+            policy=refresh_policy,
+            codec=codec,
+            maintainer=maintainer,
+            sample=sample,
+            log=log,
+            store=store,
+            sample_device=sample_device,
+            log_device=log_device,
+            meta_device=meta_device,
+            commit_group=commit_group,
+        )
+        self._manager.add(name, maintainer)
+        self._entries[name] = entry
+        if self._instr is not None:
+            self._g_samples.set(len(self._entries))
+            self._instr.emit(
+                "serve.sample_adopted",
+                sample=name,
+                algorithm=algorithm,
+                dataset_size=checkpoint.dataset_size,
+                pending_log_elements=checkpoint.log_count,
+            )
+        return entry
 
     # -- data paths ----------------------------------------------------------
 

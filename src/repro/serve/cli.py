@@ -135,6 +135,25 @@ def add_serve_sim_parser(sub) -> argparse.ArgumentParser:
             "section (0 = off)"
         ),
     )
+    parser.add_argument(
+        "--replica",
+        action="store_true",
+        help=(
+            "attach an async replication link + replica site; every "
+            "manifest save ships a checkpoint-boundary batch (adds a "
+            "'replication' report section)"
+        ),
+    )
+    parser.add_argument(
+        "--replica-lag",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "replication-lag budget in cost seconds a sealed commit batch "
+            "may wait before shipping (0 = ship at the next opportunity)"
+        ),
+    )
     return parser
 
 
@@ -160,6 +179,8 @@ def run_serve_sim_command(args: argparse.Namespace) -> int:
         trace_path=args.trace,
         slos=tuple(args.slo),
         timeseries_interval=args.ts_interval,
+        replica=args.replica,
+        replica_lag_budget=args.replica_lag,
     )
     instrumentation = Instrumentation(cost_model=CostModel())
     report = run_simulation(config, instrumentation=instrumentation)
@@ -214,6 +235,17 @@ def run_serve_sim_command(args: argparse.Namespace) -> int:
             f"(hits={pool['hits']} misses={pool['misses']} "
             f"readahead={pool['readahead_blocks']} "
             f"coalesced={pool['coalesced_writes']})"
+        )
+    replication = report.replication
+    if replication.get("enabled"):
+        lag = replication["lag_seconds"]
+        print(
+            f"  replication: lag_budget={replication['lag_budget']:g} "
+            f"sealed={replication['batches_sealed']} "
+            f"shipped={replication['batches_shipped']} "
+            f"({replication['bytes_shipped']} bytes) "
+            f"backlog={replication['backlog_batches']}  "
+            f"lag mean={lag['mean']:.6f} max={lag['max']:.6f}"
         )
     slo = report.slo
     missed = [

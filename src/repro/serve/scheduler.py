@@ -220,6 +220,9 @@ class ServeReport:
     pool: dict = field(default_factory=dict)
     #: SLO engine output: per-objective error budgets and burn rates
     slo: dict = field(default_factory=dict)
+    #: replication link + replica-apply counters (empty when unreplicated,
+    #: keeping disabled-run reports byte-identical to pre-replication ones)
+    replication: dict = field(default_factory=dict)
     #: windowed time-series summaries (empty unless an interval was set)
     timeseries: dict = field(default_factory=dict)
     trace: list = field(default_factory=list)
@@ -245,6 +248,8 @@ class ServeReport:
             "pool": dict(self.pool),
             "slo": dict(self.slo),
         }
+        if self.replication:
+            out["replication"] = dict(self.replication)
         if self.timeseries:
             out["timeseries"] = dict(self.timeseries)
         if include_trace:
@@ -421,6 +426,11 @@ class DeterministicScheduler:
                 )
             if self._ts is not None:
                 self._sample_timeseries(busy_until, depth, device_mark)
+            # Shipping opportunity: the async replication daemon's wakeup,
+            # modelled deterministically as "after every completed event".
+            link = catalog.replication
+            if link is not None:
+                link.ship_due(cost_model.cost_seconds())
 
         # Drain: keep the staleness invariant when traffic stops.
         drain_index = 0
@@ -439,6 +449,15 @@ class DeterministicScheduler:
             if report.refresh_jobs == jobs_before:
                 break
             drain_index += 1
+            link = catalog.replication
+            if link is not None:
+                link.ship_due(cost_model.cost_seconds())
+
+        link = catalog.replication
+        if link is not None:
+            # Clean shutdown drains the outbox: only a crash loses batches.
+            link.ship_all()
+            report.replication = link.stats()
 
         report.clock_seconds = _round(busy_until)
         report.latency = _distribution(latencies)
@@ -657,6 +676,12 @@ class DeterministicScheduler:
         mark = cost_model.checkpoint()
         with maybe_span(obs, "serve.refresh_job", sample=selected) as span:
             result = self._catalog.refresh(selected)
+            # A completed background refresh commits its manifest: this
+            # bounds recovery replay, and -- when replication is attached --
+            # it is the ship point that seals everything the refresh made
+            # durable into one checkpoint-boundary batch.  The superblock
+            # write is booked as part of the job's service time.
+            self._catalog.checkpoint(selected)
             if span is not None and result is not None:
                 span.set("candidates", result.candidates)
                 span.set("displaced", result.displaced)

@@ -78,6 +78,12 @@ class SimConfig:
     #: window width in cost seconds for the report's time-series section
     #: (0 = no time series)
     timeseries_interval: float = 0.0
+    #: attach an async replication link + replica site to the catalog
+    #: (False keeps the run bit-identical to an unreplicated simulation)
+    replica: bool = False
+    #: replication-lag budget in cost seconds: a sealed commit batch may
+    #: wait this long in the primary's outbox before it must ship
+    replica_lag_budget: float = 0.0
 
     def sample_names(self) -> list[str]:
         return [f"s{index:02d}" for index in range(self.samples)]
@@ -96,11 +102,20 @@ def build_catalog(
     cost_model = (
         instrumentation.cost_model if instrumentation is not None else None
     )
+    replication = None
+    if config.replica:
+        from repro.replication.link import ReplicationLink
+
+        replication = ReplicationLink(
+            lag_budget=config.replica_lag_budget,
+            instrumentation=instrumentation,
+        )
     catalog = SampleCatalog(
         cost_model=cost_model,
         instrumentation=instrumentation,
         pool_capacity=config.pool_capacity,
         pool_readahead=config.pool_readahead,
+        replication=replication,
     )
     root = RandomSource(config.seed)
     for name in config.sample_names():

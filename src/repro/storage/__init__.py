@@ -39,11 +39,28 @@ from repro.storage.bufferpool import (
     declare_scan,
     flush_barrier,
 )
-from repro.storage.fault_injection import FaultInjectionDevice, InjectedCrash
+from repro.storage.fault_injection import (
+    CrashBudget,
+    FaultInjectionDevice,
+    InjectedCrash,
+)
 from repro.storage.files import LogFile, SampleFile, SequentialLogReader
+from repro.storage.group_commit import GroupCommitBarrier
 from repro.storage.memory import MemoryReport
 from repro.storage.real_disk import RealBlockDevice, WallClock, calibrate_disk
 from repro.storage.records import BytesRecordCodec, IntRecordCodec, RecordCodec
+from repro.storage.replicated import (
+    BlockRecord,
+    ReplicatedDevice,
+    apply_records,
+    apply_to_image,
+    base_device,
+    canonical_image,
+    clone_image,
+    device_image,
+    image_digest,
+    replicated_in,
+)
 from repro.storage.superblock import (
     CheckpointError,
     CheckpointStore,
@@ -78,4 +95,16 @@ __all__ = [
     "CheckpointError",
     "FaultInjectionDevice",
     "InjectedCrash",
+    "CrashBudget",
+    "GroupCommitBarrier",
+    "ReplicatedDevice",
+    "BlockRecord",
+    "apply_records",
+    "apply_to_image",
+    "base_device",
+    "canonical_image",
+    "clone_image",
+    "device_image",
+    "image_digest",
+    "replicated_in",
 ]

@@ -111,6 +111,15 @@ class SimulatedBlockDevice:
         """How many blocks have ever been written."""
         return len(self._blocks)
 
+    def snapshot_blocks(self) -> dict[int, bytes]:
+        """Copy of the allocated block map, without charging any I/O.
+
+        The replication and disaster-recovery tooling images devices
+        through this (see :func:`repro.storage.replicated.device_image`)
+        to compare durable state byte-for-byte across crash boundaries.
+        """
+        return dict(self._blocks)
+
     def read_block(self, index: int, sequential: bool) -> bytes:
         """Return the contents of a block, charging one read access."""
         self._check_index(index)

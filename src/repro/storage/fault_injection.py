@@ -24,11 +24,75 @@ from repro.storage.cost_model import CostModel
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs uses storage)
     from repro.obs.api import Instrumentation
 
-__all__ = ["InjectedCrash", "FaultInjectionDevice"]
+__all__ = ["InjectedCrash", "CrashBudget", "FaultInjectionDevice"]
 
 
 class InjectedCrash(RuntimeError):
     """The simulated process died mid-operation."""
+
+
+class CrashBudget:
+    """A write budget shared by every device of one simulated process.
+
+    A per-device ``writes_until_crash`` can only land a crash at a chosen
+    point in *that device's* write sequence.  Disaster-recovery drills
+    need the opposite: one global, seeded crash point in the process's
+    interleaved write stream across sample + log + manifest devices --
+    including points *inside* a multi-device group commit.  Every
+    :class:`FaultInjectionDevice` of the process shares one budget; the
+    Nth durable write overall raises, whichever device it lands on.
+
+    The budget also records **commit windows**: a
+    :class:`~repro.storage.group_commit.GroupCommitBarrier` brackets its
+    flush phase with :meth:`begin_commit`/:meth:`end_commit`, and every
+    window in which at least one write happened is kept as a
+    ``(first_write_index, last_write_index)`` pair (1-based, inclusive).
+    A probe run collects the windows; the drill then arms a crash point
+    chosen *inside* one to exercise the mid-barrier case.
+    """
+
+    def __init__(self, writes_until_crash: int | None = None) -> None:
+        if writes_until_crash is not None and writes_until_crash < 0:
+            raise ValueError("writes_until_crash must be non-negative")
+        self._remaining = writes_until_crash
+        self.writes_seen = 0
+        self.crashes = 0
+        #: (first, last) 1-based write indexes inside group-commit flushes
+        self.commit_windows: list[tuple[int, int]] = []
+        self._commit_start: int | None = None
+
+    @property
+    def armed(self) -> bool:
+        return self._remaining is not None
+
+    def arm(self, writes_until_crash: int) -> None:
+        if writes_until_crash < 0:
+            raise ValueError("writes_until_crash must be non-negative")
+        self._remaining = writes_until_crash
+
+    def disarm(self) -> None:
+        self._remaining = None
+
+    def consume(self) -> bool:
+        """Account one write; True when this write must crash instead."""
+        if self._remaining is not None and self._remaining == 0:
+            self.crashes += 1
+            return True
+        self.writes_seen += 1
+        if self._remaining is not None:
+            self._remaining -= 1
+        return False
+
+    # -- group-commit observation (see storage.group_commit) ----------------
+
+    def begin_commit(self) -> None:
+        self._commit_start = self.writes_seen
+
+    def end_commit(self) -> None:
+        start = self._commit_start
+        self._commit_start = None
+        if start is not None and self.writes_seen > start:
+            self.commit_windows.append((start + 1, self.writes_seen))
 
 
 class FaultInjectionDevice:
@@ -37,6 +101,11 @@ class FaultInjectionDevice:
     ``writes_until_crash=None`` disarms the device (pass-through).  The
     counter spans the device's lifetime, not a single operation, so a
     crash can land in the middle of any multi-block write sequence.
+
+    ``crash_budget`` shares one :class:`CrashBudget` across every device
+    of a simulated process: when given, it replaces the per-device
+    counter, so the drill's seeded crash point addresses the process's
+    global write sequence (and can land mid-group-commit).
     """
 
     def __init__(
@@ -45,11 +114,13 @@ class FaultInjectionDevice:
         writes_until_crash: int | None = None,
         instrumentation: "Instrumentation | None" = None,
         torn_writes: bool = False,
+        crash_budget: CrashBudget | None = None,
     ) -> None:
         if writes_until_crash is not None and writes_until_crash < 0:
             raise ValueError("writes_until_crash must be non-negative")
         self._inner = inner
         self._budget = writes_until_crash
+        self._shared = crash_budget
         self._instr = instrumentation
         self._torn = torn_writes
         self._crash_reported = False
@@ -85,23 +156,30 @@ class FaultInjectionDevice:
         return self._inner.read_block(index, sequential)
 
     def write_block(self, index: int, data: bytes, sequential: bool) -> None:
-        if self._budget is not None:
+        if self._shared is not None:
+            if self._shared.consume():
+                self._crash(index, data)
+        elif self._budget is not None:
             if self._budget == 0:
-                self._report_crash(index)
-                if self._torn:
-                    # A torn write: power fails mid-block, leaving the first
-                    # half of the new data spliced onto the old tail.  The
-                    # landed fragment is not a charged, completed access --
-                    # CRC-protected readers (the superblock) must detect it.
-                    old = self._inner.peek_block(index)
-                    half = self._inner.block_size // 2
-                    self._inner.poke_block(index, data[:half] + old[half:])
-                raise InjectedCrash(
-                    f"simulated crash after {self.writes_survived} writes"
-                )
+                self._crash(index, data)
             self._budget -= 1
         self._inner.write_block(index, data, sequential)
         self.writes_survived += 1
+
+    def _crash(self, index: int, data: bytes) -> None:
+        """Report, optionally tear the in-flight block, and raise."""
+        self._report_crash(index)
+        if self._torn:
+            # A torn write: power fails mid-block, leaving the first
+            # half of the new data spliced onto the old tail.  The
+            # landed fragment is not a charged, completed access --
+            # CRC-protected readers (the superblock) must detect it.
+            old = self._inner.peek_block(index)
+            half = self._inner.block_size // 2
+            self._inner.poke_block(index, data[:half] + old[half:])
+        raise InjectedCrash(
+            f"simulated crash after {self.writes_survived} writes"
+        )
 
     def _report_crash(self, block_index: int) -> None:
         """Telemetry for the crash: one event + counter per armed trigger.

@@ -1,0 +1,149 @@
+"""Multi-device group commit: one fsync-equivalent across a sample's devices.
+
+A catalogued sample's durable state spans *three* devices -- sample file,
+candidate log, superblock manifest -- but the commit discipline used to
+be per-device: :meth:`SampleMaintainer.refresh` flushed the sample and
+log devices separately, and the checkpoint stores flushed only their own
+device.  That is correct for durability but leaves no single point that
+says "these devices are now mutually consistent", which is exactly the
+point a replication stream must ship from.
+
+:class:`GroupCommitBarrier` is that point.  ``commit()`` write-backs
+every member device (one barrier spanning the group), then -- when a
+replication link is attached and the commit is a *sealing* one -- packs
+the devices' pending block records into one commit batch.  Mid-sequence
+commits (a refresh, a checkpoint's pre-save flush) run flush-only
+(``seal=False``) so their records accumulate and ship with the next
+manifest save: replica state is therefore always a prefix of *checkpoint
+boundaries* -- the only states a failover can resume bit-identically --
+never a torn mid-operation view.
+
+Without a link the barrier degrades to exactly the flushes the
+per-device code performed, in member order, so an unreplicated run is
+bit-identical to the pre-group-commit behaviour (property-tested).
+
+A fault budget (see
+:class:`~repro.storage.fault_injection.CrashBudget`) can observe the
+barrier: the drill harness uses the recorded commit windows to aim
+injected crashes *inside* the multi-device flush, the hardest crash
+point for consistency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.storage.block_device import BlockDevice
+from repro.storage.bufferpool import flush_barrier
+from repro.storage.replicated import ReplicatedDevice, replicated_in
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.api import Instrumentation
+    from repro.storage.fault_injection import CrashBudget
+
+__all__ = ["GroupCommitBarrier"]
+
+
+class GroupCommitBarrier:
+    """One commit point spanning several block devices.
+
+    Parameters
+    ----------
+    devices:
+        The member devices, flushed in the given order at every commit
+        (order is part of the crash semantics: a mid-commit crash leaves
+        a prefix of members durable).
+    link:
+        Optional replication link (duck-typed:
+        :class:`repro.replication.link.ReplicationLink`).  When present,
+        a sealing commit packs the members' pending block records into
+        one commit batch -- the unit the replica applies atomically.
+    fault_budget:
+        Optional shared crash budget; the barrier brackets its flush
+        phase with ``begin_commit``/``end_commit`` so fault-injection
+        drills can target writes *inside* the barrier.
+    instrumentation:
+        Optional obs facade; opens a ``storage.group_commit`` span per
+        commit when storage tracing is on.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[BlockDevice],
+        link=None,
+        fault_budget: "CrashBudget | None" = None,
+        instrumentation: "Instrumentation | None" = None,
+    ) -> None:
+        if not devices:
+            raise ValueError("a group commit barrier needs at least one device")
+        # Preserve order but commit each device once even when shared.
+        unique: list[BlockDevice] = []
+        for device in devices:
+            if all(device is not seen for seen in unique):
+                unique.append(device)
+        self._devices: tuple[BlockDevice, ...] = tuple(unique)
+        self._link = link
+        self._budget = fault_budget
+        self._instr = instrumentation
+        self._replicated: tuple[ReplicatedDevice, ...] = tuple(
+            replica
+            for replica in (replicated_in(device) for device in self._devices)
+            if replica is not None
+        )
+        self.commits = 0
+
+    @property
+    def devices(self) -> tuple[BlockDevice, ...]:
+        return self._devices
+
+    @property
+    def link(self):
+        return self._link
+
+    def commit(self, seal: bool = True) -> None:
+        """Flush every member device, then seal the replication batch.
+
+        The flush phase *strictly precedes* the seal: a sealed batch only
+        ever describes blocks that are already durable on the primary, so
+        replica state is a checkpoint-boundary prefix by construction (this
+        ordering is what lint rule BAR002 checks at every commit site).
+
+        ``seal=False`` runs the flush phase only (durability without a
+        ship point).  Mid-sequence commits -- a refresh that truncated the
+        log, a checkpoint's pre-save flush -- use it so their captured
+        records *accumulate* and ship with the next manifest save: a
+        sealed batch always ends on a checkpoint boundary, the only state
+        a failover can resume bit-identically (an older shipped manifest
+        over newer shipped device bytes could describe a log the refresh
+        already truncated).
+        """
+        if self._instr is not None and self._instr.trace_storage:
+            with self._instr.span(
+                "storage.group_commit", devices=len(self._devices)
+            ) as span:
+                self._flush_all()
+                span.set("commit", self.commits)
+                span.set("seal", seal)
+                if seal and self._link is not None:
+                    self._link.seal(self._replicated)
+            return
+        self._flush_all()
+        if seal and self._link is not None:
+            self._link.seal(self._replicated)
+
+    def _flush_all(self) -> None:
+        """The barrier's flush phase: write back every member, in order."""
+        if self._budget is not None:
+            self._budget.begin_commit()
+        for device in self._devices:
+            flush_barrier(device)
+        if self._budget is not None:
+            self._budget.end_commit()
+        self.commits += 1
+
+    def __repr__(self) -> str:
+        names = [getattr(device, "name", "?") for device in self._devices]
+        return (
+            f"GroupCommitBarrier({names} commits={self.commits} "
+            f"replicated={len(self._replicated)})"
+        )

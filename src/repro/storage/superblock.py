@@ -30,11 +30,15 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.rng.mt19937 import MTState
 from repro.rng.random_source import RandomSource
 from repro.storage.block_device import BlockDevice
 from repro.storage.bufferpool import flush_barrier
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.group_commit import GroupCommitBarrier
 
 __all__ = [
     "MaintenanceCheckpoint",
@@ -197,21 +201,32 @@ class CheckpointStore:
     (or reserve the first block of an existing one).
     """
 
-    def __init__(self, device: BlockDevice, block_index: int = 0) -> None:
+    def __init__(
+        self,
+        device: BlockDevice,
+        block_index: int = 0,
+        commit_barrier: "GroupCommitBarrier | None" = None,
+    ) -> None:
         if block_index < 0:
             raise ValueError("block_index must be non-negative")
         self._device = device
         self._block_index = block_index
+        self._barrier = commit_barrier
 
     def save(self, checkpoint: MaintenanceCheckpoint) -> None:
         """Write the superblock: one random block write, flushed through.
 
         A checkpoint that sits in a buffer pool is no checkpoint at all,
-        so the save ends with a flush barrier on its own device.
+        so the save ends with a flush barrier -- the group commit across
+        the sample's devices when one is attached (which also seals the
+        replication batch), else a barrier on this store's own device.
         """
         data = checkpoint.to_bytes(self._device.block_size)
         self._device.write_block(self._block_index, data, sequential=False)
-        flush_barrier(self._device)
+        if self._barrier is not None:
+            self._barrier.commit()
+        else:
+            flush_barrier(self._device)
 
     def load(self) -> MaintenanceCheckpoint:
         """Read and validate the superblock: one random block read."""
@@ -251,7 +266,10 @@ class DualSlotCheckpointStore:
     """
 
     def __init__(
-        self, device: BlockDevice, block_indexes: tuple[int, int] = (0, 1)
+        self,
+        device: BlockDevice,
+        block_indexes: tuple[int, int] = (0, 1),
+        commit_barrier: "GroupCommitBarrier | None" = None,
     ) -> None:
         first, second = block_indexes
         if first < 0 or second < 0:
@@ -260,6 +278,7 @@ class DualSlotCheckpointStore:
             raise ValueError("the two slots must be distinct blocks")
         self._device = device
         self._slots = (first, second)
+        self._barrier = commit_barrier
 
     def _peek_slot(self, index: int) -> "MaintenanceCheckpoint | None":
         """Validate one slot without charging I/O (recovery probes charge)."""
@@ -296,7 +315,10 @@ class DualSlotCheckpointStore:
         )
         data = checkpoint.to_bytes(self._device.block_size)
         self._device.write_block(target, data, sequential=False)
-        flush_barrier(self._device)
+        if self._barrier is not None:
+            self._barrier.commit()
+        else:
+            flush_barrier(self._device)
 
     def load(self) -> MaintenanceCheckpoint:
         """Read both slots, return the newest valid checkpoint.

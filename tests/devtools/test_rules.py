@@ -774,6 +774,138 @@ def test_bar001_interprocedural_non_flushing_helper_still_flagged(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# BAR002 (group commit barrier dominates checkpoint commits and seals)
+# ---------------------------------------------------------------------------
+
+_GROUP = """\
+    from repro.storage.device import flush_barrier
+    class GroupCommitBarrier:
+        def commit(self):
+            for device in self._devices:
+                flush_barrier(device)
+"""
+
+
+def test_bar002_per_device_flush_is_not_a_group_commit(tmp_path):
+    """A plain flush satisfies BAR001 but not BAR002: the checkpoint
+    commits outside the multi-device barrier the replica ships from."""
+    make_tree(tmp_path, {
+        "storage/superblock.py": _STORE,
+        "storage/group_commit.py": _GROUP,
+        "core/maint.py": """\
+            from repro.storage.device import flush_barrier
+            def checkpoint(store, device, state):
+                flush_barrier(device)
+                return store.save(state)
+        """,
+    })
+    assert lint(tmp_path, rules=["BAR001"]) == []
+    findings = lint(tmp_path, rules=["BAR002"])
+    assert [(f.path, f.rule_id, f.line) for f in findings] == [
+        ("core/maint.py", "BAR002", 4),
+    ]
+    assert "group commit barrier" in findings[0].message
+
+
+def test_bar002_clean_with_dominating_group_commit(tmp_path):
+    make_tree(tmp_path, {
+        "storage/superblock.py": _STORE,
+        "storage/group_commit.py": _GROUP,
+        "core/maint.py": """\
+            from repro.storage.group_commit import GroupCommitBarrier
+            def checkpoint(store, group: GroupCommitBarrier, state):
+                group.commit()
+                return store.save(state)
+        """,
+    })
+    assert lint(tmp_path, rules=["BAR002"]) == []
+
+
+def test_bar002_group_commit_reached_through_callee(tmp_path):
+    """The barrier is two calls deep and evaluated in the commit
+    statement's argument position -- the callers-closure over
+    ``GroupCommitBarrier.commit`` sees it where direct targets do not."""
+    make_tree(tmp_path, {
+        "storage/superblock.py": _STORE,
+        "storage/group_commit.py": _GROUP,
+        "core/maint.py": """\
+            from repro.storage.group_commit import GroupCommitBarrier
+            from repro.storage.superblock import DualSlotCheckpointStore
+
+            class Maintainer:
+                _group: GroupCommitBarrier
+
+                def _flush_devices(self):
+                    self._group.commit()
+
+                def checkpoint_state(self):
+                    self._flush_devices()
+                    return b"state"
+
+                def checkpoint(self, store: DualSlotCheckpointStore):
+                    store.save(self.checkpoint_state())
+        """,
+    })
+    assert lint(tmp_path, rules=["BAR002"]) == []
+
+
+def test_bar002_branch_local_group_commit_does_not_dominate(tmp_path):
+    make_tree(tmp_path, {
+        "storage/superblock.py": _STORE,
+        "storage/group_commit.py": _GROUP,
+        "core/maint.py": """\
+            from repro.storage.group_commit import GroupCommitBarrier
+            def checkpoint(store, group: GroupCommitBarrier, state, fast):
+                if fast:
+                    group.commit()
+                return store.save(state)
+        """,
+    })
+    assert ids(lint(tmp_path, rules=["BAR002"])) == ["BAR002"]
+
+
+def test_bar002_seal_before_flush_flagged(tmp_path):
+    """Sealing the replication batch before the flush phase would ship
+    block records that are not yet durable on the primary."""
+    make_tree(tmp_path, {
+        "storage/group_commit.py": """\
+            from repro.storage.device import flush_barrier
+            class GroupCommitBarrier:
+                def commit(self):
+                    if self._link is not None:
+                        self._link.seal(self._pending)
+                    for device in self._devices:
+                        flush_barrier(device)
+        """,
+    })
+    findings = lint(tmp_path, rules=["BAR002"])
+    assert [(f.path, f.rule_id, f.line) for f in findings] == [
+        ("storage/group_commit.py", "BAR002", 5),
+    ]
+    assert "already durable" in findings[0].message
+
+
+def test_bar002_seal_after_flush_phase_clean(tmp_path):
+    """The shipped shape: a separate flush-phase statement strictly
+    dominates the seal, flushing transitively through the helper."""
+    make_tree(tmp_path, {
+        "storage/group_commit.py": """\
+            from repro.storage.device import flush_barrier
+            class GroupCommitBarrier:
+                def commit(self):
+                    self._flush_all()
+                    if self._link is not None:
+                        self._link.seal(self._pending)
+
+                def _flush_all(self):
+                    for device in self._devices:
+                        flush_barrier(device)
+        """,
+    })
+    assert lint(tmp_path, rules=["BAR002"]) == []
+
+
+# ---------------------------------------------------------------------------
 # SRV001 (no device writes on the serve read path)
 # ---------------------------------------------------------------------------
 

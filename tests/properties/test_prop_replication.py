@@ -1,0 +1,104 @@
+"""Property-based tests: replication's two fidelity contracts.
+
+**Disabled** (``SimConfig.replica=False``, the default): the group
+commit refactor and the replication plumbing must be invisible -- a
+simulation without a replica is bit-identical, answers and report alike,
+to what the serve stack produced before replication existed.  We pin
+this by comparing a replicated run against an unreplicated one: the
+primary side (answers, costs, device accesses, every report section)
+must match exactly, because capture records mutations without charging
+I/O and the replica runs on its own cost model.
+
+**Enabled + crashed**: for any seed, algorithm, lag budget and crash
+point -- including points inside a group-commit barrier with torn writes
+-- the DR drill's recovery must be byte-identical to the shipped
+checkpoint-boundary prefix, three ways (primary shadow digest, replica
+digest, recovered catalog bytes).
+"""
+
+import os
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.api import Instrumentation
+from repro.replication.drill import DrillConfig, run_drill
+from repro.serve.sim import SimConfig, assert_same_answers, run_simulation
+from repro.storage.cost_model import CostModel
+
+ALGORITHMS = ("stack", "array", "nomem")
+
+#: The weekly CI deep-drill job raises this (default is PR-latency scale).
+MAX_EXAMPLES = int(os.environ.get("REPRO_PROP_MAX_EXAMPLES", "10"))
+
+
+def run(seed, algorithm, pool_capacity, replica, lag):
+    config = SimConfig(
+        seed=seed,
+        samples=2,
+        sample_size=32,
+        events=40,
+        algorithm=algorithm,
+        pool_capacity=pool_capacity,
+        replica=replica,
+        replica_lag_budget=lag,
+    )
+    instr = Instrumentation(cost_model=CostModel())
+    return run_simulation(config, instrumentation=instr).to_dict()
+
+
+class TestReplicationFidelity:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        algorithm=st.sampled_from(ALGORITHMS),
+        pool_capacity=st.sampled_from((0, 8)),
+        lag=st.sampled_from((0.0, 0.005, 2.0)),
+    )
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_replicated_primary_is_bit_identical_to_unreplicated(
+        self, seed, algorithm, pool_capacity, lag
+    ):
+        plain = run(seed, algorithm, pool_capacity, replica=False, lag=0.0)
+        replicated = run(seed, algorithm, pool_capacity, replica=True, lag=lag)
+        # The client-visible answers are identical...
+        assert_same_answers(plain, replicated)
+        # ...and so is every primary-side report section: the replication
+        # section is the *only* difference a replica may introduce.
+        assert "replication" not in plain
+        section = replicated.pop("replication")
+        assert section["enabled"] is True
+        assert section["batches_shipped"] + section["backlog_batches"] == (
+            section["batches_sealed"]
+        )
+        assert plain == replicated
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        algorithm=st.sampled_from(ALGORITHMS),
+        lag=st.sampled_from((0.0, 0.01, 50.0)),
+        crash_phase=st.sampled_from(("any", "barrier")),
+    )
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_any_crash_point_recovers_the_shipped_prefix_bit_exactly(
+        self, seed, algorithm, lag, crash_phase
+    ):
+        report = run_drill(
+            DrillConfig(
+                seed=seed,
+                samples=2,
+                sample_size=24,
+                events=15,
+                batch_size=8,
+                refresh_every=4,
+                checkpoint_every=5,
+                algorithm=algorithm,
+                lag_budget=lag,
+                pool_capacity=4,
+                crash_phase=crash_phase,
+            )
+        )
+        assert report["checks"]["crash_injected"]
+        assert report["ok"], report
+        # Only whole commit batches ever reach the replica.
+        assert report["replication"]["applied_seq"] == (
+            report["replication"]["batches_shipped"]
+        )

@@ -1,0 +1,1 @@
+"""Disaster-recovery drill and failover tests."""

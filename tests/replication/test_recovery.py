@@ -1,0 +1,134 @@
+"""Failover correctness: the recovered catalog *is* the primary.
+
+Beyond byte-identical device images (the drill's check), a recovered
+sample must resume maintenance bit-identically: the shipped manifest
+carries the dataset size, log position and full MT19937 state, so the
+same post-failover operation stream must produce the same sample on the
+recovered catalog as it would have on the primary.
+"""
+
+from repro.replication.link import ReplicationLink
+from repro.replication.recovery import recover_from_replica
+from repro.serve.catalog import SampleCatalog
+
+
+def make_primary(lag_budget=0.0, algorithm="stack", pool_capacity=4):
+    link = ReplicationLink(lag_budget=lag_budget)
+    catalog = SampleCatalog(pool_capacity=pool_capacity, replication=link)
+    return catalog, link
+
+
+def drive(catalog, name, *, base, steps=30, batch=6, refresh_every=5):
+    """A deterministic operation stream, reusable on both sides."""
+    for step in range(steps):
+        values = [base + step * batch + k for k in range(batch)]
+        catalog.ingest(name, values)
+        if (step + 1) % refresh_every == 0:
+            catalog.refresh(name)
+
+
+def test_recovered_catalog_resumes_bit_identically():
+    catalog, link = make_primary()
+    catalog.create("alpha", sample_size=20, algorithm="stack", seed=42)
+    drive(catalog, "alpha", base=1_000)
+    # Checkpoint is the last primary operation, so the shipped state IS
+    # the primary's state: the continuation must match exactly.
+    catalog.checkpoint("alpha")
+    link.ship_all()
+
+    recovery = recover_from_replica(link.applier, algorithm="stack")
+    assert recovery.recovered == ["alpha"]
+    assert recovery.skipped == []
+    assert recovery.consistent
+
+    primary = catalog.entry("alpha")
+    recovered = recovery.catalog.entry("alpha")
+    assert recovered.sample.peek_all() == primary.sample.peek_all()
+    assert (
+        recovered.maintainer.pending_log_elements
+        == primary.maintainer.pending_log_elements
+    )
+
+    # Same future on both sides: identical ingests and refreshes make
+    # identical acceptance/displacement decisions, which is only possible
+    # if the PRNG state crossed the replication hop bit-exactly.
+    drive(catalog, "alpha", base=2_000)
+    drive(recovery.catalog, "alpha", base=2_000)
+    assert recovered.sample.peek_all() == primary.sample.peek_all()
+    assert (
+        recovered.maintainer.pending_log_elements
+        == primary.maintainer.pending_log_elements
+    )
+
+
+def test_recovery_resumes_from_the_shipped_manifest_not_primary_progress():
+    """Work after the last shipped checkpoint is (bounded, budgeted)
+    replication loss: the recovered maintainer resumes from the manifest
+    boundary, not from the primary's unsealed progress."""
+    catalog, link = make_primary()
+    catalog.create("alpha", sample_size=20, algorithm="stack", seed=7)
+    drive(catalog, "alpha", base=1_000, steps=10, refresh_every=4)
+    catalog.checkpoint("alpha")
+
+    # Snapshot the boundary by recovering from a fully-shipped stream...
+    link.ship_all()
+    boundary = recover_from_replica(link.applier, algorithm="stack")
+    boundary_entry = boundary.catalog.entry("alpha")
+
+    # ...then keep ingesting on the primary without refresh/checkpoint:
+    # nothing after the boundary reaches a group commit, so the replica
+    # never sees it and a late failover lands on the same boundary.
+    drive(catalog, "alpha", base=5_000, steps=10, refresh_every=99)
+    link.ship_all()
+    late = recover_from_replica(link.applier, algorithm="stack")
+    assert late.recovered == ["alpha"]
+    assert late.consistent
+    late_entry = late.catalog.entry("alpha")
+    assert late_entry.sample.peek_all() == boundary_entry.sample.peek_all()
+    assert (
+        late_entry.maintainer.pending_log_elements
+        == boundary_entry.maintainer.pending_log_elements
+    )
+    # The primary meanwhile moved past the boundary (lost work).
+    assert (
+        catalog.entry("alpha").maintainer.pending_log_elements
+        > late_entry.maintainer.pending_log_elements
+    )
+
+
+def test_sample_without_loadable_manifest_is_skipped_not_dropped():
+    """A replica holding sample/log bytes but no loadable manifest (the
+    primary died before that sample's first sealed checkpoint shipped)
+    is reported as skipped, never silently dropped or half-adopted."""
+    from repro.replication.applier import ReplicaApplier
+    from repro.replication.link import CommitBatch
+    from repro.storage.replicated import BlockRecord, image_digest
+
+    applier = ReplicaApplier()
+    for role in ("sample", "log", "meta"):
+        applier.register(f"torn.{role}")
+    payload = b"\x42" * 4096
+    applier.apply(
+        CommitBatch(
+            seq=1,
+            seal_time=0.0,
+            records=(("torn.sample", BlockRecord("write", 0, payload)),),
+            digest=image_digest({"torn.sample": {0: payload}}),
+        )
+    )
+    recovery = recover_from_replica(applier, algorithm="stack")
+    assert recovery.recovered == []
+    assert recovery.skipped == ["torn"]
+    assert "torn" not in recovery.catalog.names()
+    # The replica holds bytes the recovered set does not: the digest
+    # witness must refuse to call this a clean failover.
+    assert not recovery.consistent
+
+
+def test_empty_replica_recovers_an_empty_catalog():
+    link = ReplicationLink()
+    recovery = recover_from_replica(link.applier)
+    assert recovery.recovered == []
+    assert recovery.skipped == []
+    assert recovery.consistent
+    assert recovery.applied_seq == 0

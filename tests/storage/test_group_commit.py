@@ -1,0 +1,211 @@
+"""GroupCommitBarrier: one fsync-equivalent across a sample's devices.
+
+The barrier's contract has three parts: (1) without a link it degrades
+to exactly the per-device flushes the old code performed; (2) with a
+link, the flush phase strictly precedes the seal, so a sealed batch only
+describes durable blocks; (3) a shared CrashBudget observes the flush
+phase as a write-index window, which is how the DR drill aims
+mid-barrier crashes.
+"""
+
+import pytest
+
+from repro.storage.block_device import SimulatedBlockDevice
+from repro.storage.bufferpool import BufferPool
+from repro.storage.cost_model import CostModel
+from repro.storage.fault_injection import (
+    CrashBudget,
+    FaultInjectionDevice,
+    InjectedCrash,
+)
+from repro.storage.group_commit import GroupCommitBarrier
+from repro.storage.replicated import ReplicatedDevice, device_image
+
+BLOCK = b"\x11" * 4096
+
+
+def pooled(name, cost, capacity=4):
+    base = SimulatedBlockDevice(cost, name)
+    return BufferPool(base, capacity=capacity, readahead=2), base
+
+
+class TestFlushPhase:
+    def test_commit_makes_every_member_durable(self):
+        cost = CostModel()
+        sample, sample_base = pooled("sample", cost)
+        log, log_base = pooled("log", cost)
+        barrier = GroupCommitBarrier([sample, log])
+
+        sample.write_block(0, BLOCK, sequential=True)
+        log.write_block(0, BLOCK, sequential=True)
+        assert sample_base.snapshot_blocks() == {}  # dirty frames are RAM
+        barrier.commit()
+        assert sample_base.snapshot_blocks() == {0: BLOCK}
+        assert log_base.snapshot_blocks() == {0: BLOCK}
+        assert barrier.commits == 1
+
+    def test_shared_devices_are_committed_once(self):
+        device = SimulatedBlockDevice(CostModel(), "shared")
+        barrier = GroupCommitBarrier([device, device, device])
+        assert barrier.devices == (device,)
+
+    def test_empty_group_is_rejected(self):
+        with pytest.raises(ValueError):
+            GroupCommitBarrier([])
+
+
+class _RecordingLink:
+    """Duck-typed stand-in asserting seal-time invariants."""
+
+    def __init__(self):
+        self.sealed = []
+
+    def seal(self, devices):
+        self.sealed.append([d.drain_pending() for d in devices])
+
+
+class TestSealOrdering:
+    def build(self, link):
+        cost = CostModel()
+        base = SimulatedBlockDevice(cost, "sample")
+        replicated = ReplicatedDevice(base)
+        pool = BufferPool(replicated, capacity=4, readahead=2)
+        barrier = GroupCommitBarrier([pool], link=link)
+        return pool, base, barrier
+
+    def test_commit_seals_replicated_members_after_the_flush(self):
+        link = _RecordingLink()
+        pool, base, barrier = self.build(link)
+        pool.write_block(0, BLOCK, sequential=True)
+        assert link.sealed == []
+        barrier.commit()
+        # The seal saw exactly the records of the just-flushed write,
+        # and the write was durable by then (flush precedes seal).
+        [[records]] = link.sealed
+        assert [(r.op, r.index) for r in records] == [("write", 0)]
+        assert base.snapshot_blocks() == {0: BLOCK}
+
+    def test_commit_without_link_only_flushes(self):
+        pool, base, barrier = self.build(link=None)
+        pool.write_block(0, BLOCK, sequential=True)
+        barrier.commit()
+        assert base.snapshot_blocks() == {0: BLOCK}
+        # Nothing drained the capture layer: the records are still pending.
+        from repro.storage.replicated import replicated_in
+
+        assert replicated_in(pool).pending_records == 1
+
+    def test_unreplicated_commit_is_bit_identical_to_plain_flushes(self):
+        from repro.storage.bufferpool import flush_barrier
+
+        def run(use_barrier):
+            cost = CostModel()
+            pool, base = pooled("sample", cost)
+            pool.write_block(0, BLOCK, sequential=True)
+            pool.write_block(1, BLOCK, sequential=False)
+            if use_barrier:
+                GroupCommitBarrier([pool]).commit()
+            else:
+                flush_barrier(pool)
+            return base.snapshot_blocks(), cost.stats
+
+        assert run(True) == run(False)
+
+
+class TestFlushOnly:
+    """``commit(seal=False)``: durability without a ship point."""
+
+    def build(self, link):
+        cost = CostModel()
+        base = SimulatedBlockDevice(cost, "sample")
+        replicated = ReplicatedDevice(base)
+        pool = BufferPool(replicated, capacity=4, readahead=2)
+        barrier = GroupCommitBarrier([pool], link=link)
+        return pool, base, replicated, barrier
+
+    def test_flush_only_commit_is_durable_but_never_seals(self):
+        link = _RecordingLink()
+        pool, base, replicated, barrier = self.build(link)
+        pool.write_block(0, BLOCK, sequential=True)
+        barrier.commit(seal=False)
+        # Durable on the primary, but the link saw nothing: the captured
+        # records are still pending in the replication layer.
+        assert base.snapshot_blocks() == {0: BLOCK}
+        assert link.sealed == []
+        assert replicated.pending_records == 1
+        assert barrier.commits == 1
+
+    def test_accumulated_records_seal_as_one_batch(self):
+        link = _RecordingLink()
+        pool, base, replicated, barrier = self.build(link)
+        # Two mid-sequence flush-only commits (a refresh commit, a
+        # pre-checkpoint flush) followed by the manifest save's sealing
+        # commit: everything ships as one checkpoint-boundary batch.
+        pool.write_block(0, BLOCK, sequential=True)
+        barrier.commit(seal=False)
+        pool.write_block(1, BLOCK, sequential=False)
+        barrier.commit(seal=False)
+        assert link.sealed == []
+        pool.write_block(2, BLOCK, sequential=True)
+        barrier.commit()
+        [[records]] = link.sealed
+        assert [(r.op, r.index) for r in records] == [
+            ("write", 0),
+            ("write", 1),
+            ("write", 2),
+        ]
+        assert replicated.pending_records == 0
+        assert base.snapshot_blocks() == {0: BLOCK, 1: BLOCK, 2: BLOCK}
+
+
+class TestCrashWindows:
+    def build(self, budget):
+        cost = CostModel()
+        base = SimulatedBlockDevice(cost, "sample")
+        faulty = FaultInjectionDevice(base, crash_budget=budget)
+        pool = BufferPool(faulty, capacity=4, readahead=2)
+        return pool, base
+
+    def test_unarmed_budget_records_the_commit_window(self):
+        budget = CrashBudget()
+        pool, _ = self.build(budget)
+        barrier = GroupCommitBarrier([pool], fault_budget=budget)
+        pool.write_block(0, BLOCK, sequential=True)
+        pool.write_block(1, BLOCK, sequential=True)
+        barrier.commit()
+        assert budget.writes_seen == 2
+        assert budget.commit_windows == [(1, 2)]
+        # A commit with nothing dirty opens no window.
+        barrier.commit()
+        assert budget.commit_windows == [(1, 2)]
+
+    def test_armed_budget_crashes_inside_the_barrier(self):
+        budget = CrashBudget(writes_until_crash=1)
+        pool, base = self.build(budget)
+        barrier = GroupCommitBarrier([pool], fault_budget=budget)
+        pool.write_block(0, BLOCK, sequential=True)
+        pool.write_block(1, BLOCK, sequential=True)
+        with pytest.raises(InjectedCrash):
+            barrier.commit()
+        # The first write landed; the second died mid-barrier.
+        assert budget.crashes == 1
+        assert len(base.snapshot_blocks()) == 1
+
+    def test_mid_barrier_crash_prevents_the_seal(self):
+        budget = CrashBudget(writes_until_crash=0)
+        cost = CostModel()
+        base = SimulatedBlockDevice(cost, "sample")
+        replicated = ReplicatedDevice(base)
+        pool = BufferPool(
+            FaultInjectionDevice(replicated, crash_budget=budget),
+            capacity=4,
+            readahead=2,
+        )
+        link = _RecordingLink()
+        barrier = GroupCommitBarrier([pool], link=link, fault_budget=budget)
+        pool.write_block(0, BLOCK, sequential=True)
+        with pytest.raises(InjectedCrash):
+            barrier.commit()
+        # Flush strictly precedes seal: a crash in the flush phase means
+        # the batch is never sealed, so nothing torn can ever ship.
+        assert link.sealed == []

@@ -1,0 +1,160 @@
+"""ReplicatedDevice capture semantics and the image/digest helpers.
+
+The capture layer must be invisible to the paper's accounting (a
+replicated primary's AccessStats are bit-identical to a bare run) while
+recording *every* durable mutation in device order, because the sealed
+record stream is the only thing the replica ever sees.
+"""
+
+import pytest
+
+from repro.storage.block_device import SimulatedBlockDevice
+from repro.storage.bufferpool import BufferPool
+from repro.storage.cost_model import CostModel
+from repro.storage.fault_injection import FaultInjectionDevice
+from repro.storage.replicated import (
+    BlockRecord,
+    ReplicatedDevice,
+    apply_records,
+    apply_to_image,
+    base_device,
+    canonical_image,
+    clone_image,
+    device_image,
+    image_digest,
+    replicated_in,
+)
+
+BLOCK = b"\xab" * 4096
+
+
+def make_replicated(name="primary"):
+    inner = SimulatedBlockDevice(CostModel(), name)
+    return ReplicatedDevice(inner, name=name), inner
+
+
+class TestCapture:
+    def test_every_durable_mutation_is_recorded_in_order(self):
+        device, _ = make_replicated()
+        device.write_block(0, BLOCK, sequential=True)
+        device.poke_block(1, BLOCK)
+        device.discard(1)
+        device.discard_from(0)
+        records = device.drain_pending()
+        assert [(r.op, r.index) for r in records] == [
+            ("write", 0), ("poke", 1), ("discard", 1), ("discard_from", 0),
+        ]
+        assert device.records_captured == 4
+        # Draining resets pending but not the lifetime count.
+        assert device.pending_records == 0
+        assert device.drain_pending() == []
+
+    def test_reads_are_not_recorded(self):
+        device, _ = make_replicated()
+        device.write_block(0, BLOCK, sequential=True)
+        device.drain_pending()
+        device.read_block(0, sequential=True)
+        device.peek_block(0)
+        assert device.pending_records == 0
+
+    def test_capture_preserves_access_classification(self):
+        device, _ = make_replicated()
+        device.write_block(0, BLOCK, sequential=True)
+        device.write_block(7, BLOCK, sequential=False)
+        sequential = [r.sequential for r in device.drain_pending()]
+        assert sequential == [True, False]
+
+    def test_capture_charges_no_extra_io(self):
+        bare = SimulatedBlockDevice(CostModel(), "bare")
+        wrapped, inner = make_replicated("wrapped")
+        for target in (bare, wrapped):
+            target.write_block(0, BLOCK, sequential=True)
+            target.write_block(3, BLOCK, sequential=False)
+            target.read_block(0, sequential=True)
+        assert bare.cost_model.stats == inner.cost_model.stats
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            BlockRecord("fsync", 0)
+        with pytest.raises(ValueError):
+            BlockRecord("write", -1)
+
+
+class TestReplay:
+    def test_apply_records_reproduces_the_image(self):
+        device, inner = make_replicated()
+        device.write_block(0, b"a" * 4096, sequential=True)
+        device.write_block(1, b"b" * 4096, sequential=True)
+        device.discard(0)
+        records = device.drain_pending()
+
+        replica = SimulatedBlockDevice(CostModel(), "replica")
+        applied = apply_records(replica, records)
+        assert applied == 2 * 4096
+        assert replica.snapshot_blocks() == inner.snapshot_blocks()
+
+    def test_replay_charges_the_replica_with_primary_classification(self):
+        device, _ = make_replicated()
+        device.write_block(0, BLOCK, sequential=True)
+        device.write_block(9, BLOCK, sequential=False)
+        replica = SimulatedBlockDevice(CostModel(), "replica")
+        apply_records(replica, device.drain_pending())
+        stats = replica.cost_model.stats
+        assert stats.seq_writes == 1
+        assert stats.random_writes == 1
+
+    def test_apply_to_image_mirrors_device_semantics(self):
+        image = {}
+        apply_to_image(image, [
+            BlockRecord("write", 0, b"a"),
+            BlockRecord("poke", 5, b"b"),
+            BlockRecord("write", 9, b"c"),
+            BlockRecord("discard", 0),
+            BlockRecord("discard_from", 5),
+        ])
+        assert image == {}
+        apply_to_image(image, [BlockRecord("write", 2, b"z")])
+        assert image == {2: b"z"}
+
+
+class TestImages:
+    def test_canonical_image_skips_empty_devices(self):
+        populated = {"a.sample": {0: b"x"}, "b.log": {}}
+        assert canonical_image(populated) == canonical_image({"a.sample": {0: b"x"}})
+        assert image_digest(populated) == image_digest({"a.sample": {0: b"x"}})
+
+    def test_canonical_image_is_order_independent(self):
+        a = {"s": {1: b"x", 0: b"y"}, "t": {2: b"z"}}
+        b = {"t": {2: b"z"}, "s": {0: b"y", 1: b"x"}}
+        assert canonical_image(a) == canonical_image(b)
+
+    def test_clone_image_round_trip_charges_nothing(self):
+        source = SimulatedBlockDevice(CostModel(), "source")
+        source.write_block(0, b"a" * 4096, sequential=True)
+        source.write_block(4, b"b" * 4096, sequential=False)
+        clone = SimulatedBlockDevice(CostModel(), "clone")
+        clone_image(clone, device_image(source))
+        assert clone.snapshot_blocks() == source.snapshot_blocks()
+        stats = clone.cost_model.stats
+        assert stats.seq_writes == stats.random_writes == 0
+
+
+class TestUnwrap:
+    def test_base_device_and_replicated_in_see_through_the_stack(self):
+        base = SimulatedBlockDevice(CostModel(), "base")
+        replicated = ReplicatedDevice(base, name="base")
+        stack = BufferPool(
+            FaultInjectionDevice(replicated), capacity=4, readahead=2
+        )
+        assert base_device(stack) is base
+        assert replicated_in(stack) is replicated
+        assert replicated_in(base) is None
+
+    def test_device_image_reads_only_durable_state(self):
+        base = SimulatedBlockDevice(CostModel(), "base")
+        pool = BufferPool(base, capacity=4, readahead=2)
+        pool.write_block(0, BLOCK, sequential=True)
+        # Dirty frame still in RAM: a crash would lose it.
+        assert device_image(pool) == {}
+        pool.flush()
+        assert device_image(pool) == {0: BLOCK}
