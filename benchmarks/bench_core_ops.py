@@ -470,3 +470,61 @@ def test_serve_trace_overhead(benchmark, tmp_path):
     benchmark.extra_info["elements_per_sec"] = events / benchmark.stats.stats.mean
     assert report.events == events
     assert report.slo["objectives"]
+
+
+def test_serve_event_loop_throughput(benchmark):
+    """Uninstrumented scheduler event loop: the fleet's per-shard hot path.
+
+    The fleet router runs one DeterministicScheduler per shard with no
+    instrumentation attached, so the uninstrumented event loop -- heap
+    pop, backlog bisect, admission, dispatch -- is multiplied by the
+    shard count in every full-engine fleet run.  The config exercises
+    the defer path too (re-queues stress the sorted backlog mirror).
+    ``elements_per_sec`` is scheduler events per second;
+    ``repro bench-compare`` gates it (select matches ``event_loop``).
+    """
+    from repro.serve.sim import SimConfig, run_simulation
+
+    events = 800
+    config = SimConfig(
+        seed=4,
+        samples=6,
+        events=events,
+        max_queue_depth=6,
+        overload_action="defer",
+    )
+
+    report = benchmark(lambda: run_simulation(config))
+    benchmark.extra_info["elements"] = events
+    benchmark.extra_info["elements_per_sec"] = events / benchmark.stats.stats.mean
+    assert report.queries_answered > 0
+
+
+def test_fleet_fanout_throughput(benchmark):
+    """Vectorised fleet model: ops per second at fleet scale.
+
+    Runs the model engine at 8 shards / 2k samples with ~220k simulated
+    ops (base events plus fan-out sub-queries, hedging on) -- a scaled-
+    down version of the CI fleet-smoke sweep.  ``elements_per_sec`` is
+    simulated ops per second; ``repro bench-compare`` gates it (select
+    matches ``fleet``) so a regression in the placement, quota or merge
+    vector paths fails CI before it turns the smoke step into a crawl.
+    """
+    from repro.fleet.sim import FleetConfig, run_fleet_simulation
+
+    config = FleetConfig(
+        seed=3,
+        shards=8,
+        samples=2_000,
+        events=200_000,
+        fanout_queries=5_000,
+        mean_gap_seconds=0.002,
+        hedge_multiplier=2.0,
+        engine="model",
+    )
+
+    report = benchmark(lambda: run_fleet_simulation(config))
+    ops = report.fleet["ops"]
+    benchmark.extra_info["elements"] = ops
+    benchmark.extra_info["elements_per_sec"] = ops / benchmark.stats.stats.mean
+    assert report.fanout["answered"] == 5_000

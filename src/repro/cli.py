@@ -102,6 +102,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     add_serve_sim_parser(sub)
 
+    from repro.fleet.cli import add_fleet_sim_parser
+
+    add_fleet_sim_parser(sub)
+
     from repro.obs.trace_cli import add_trace_parser
 
     add_trace_parser(sub)
@@ -147,6 +151,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.cli import run_serve_sim_command
 
         return run_serve_sim_command(args)
+
+    if args.command == "fleet-sim":
+        from repro.fleet.cli import run_fleet_sim_command
+
+        return run_fleet_sim_command(args)
 
     if args.command == "trace":
         from repro.obs.trace_cli import run_trace_command

@@ -3,16 +3,19 @@
 Compares a freshly produced pytest-benchmark JSON report against the
 committed baseline (``benchmarks/BENCH_core_ops.json``) and fails when a
 gated benchmark's throughput dropped by more than the threshold.  By
-default the **batch-path**, **pool**, **lint**, **trace** and **repl**
-benchmarks are gated (names matching ``batch|pool|lint|trace|repl``):
-the batch path carries the paper's O(accepted) scaling claim, the
-pooled refresh cycle carries PR 5's access-reduction claim, the
-whole-program lint runtime guards the analysis engine's per-PR latency,
-the serve-trace benchmark guards the observability layer's overhead
-when tracing is *enabled*, and the replicated refresh cycle guards the
-capture/seal/ship path's overhead on the primary, while the scalar
-benchmarks exist as the comparison floor and may drift with interpreter
-noise.
+default the **batch-path**, **pool**, **lint**, **trace**, **repl**,
+**fleet** and **event-loop** benchmarks are gated (names matching
+``batch|pool|lint|trace|repl|fleet|event_loop``): the batch path
+carries the paper's O(accepted) scaling claim, the pooled refresh cycle
+carries PR 5's access-reduction claim, the whole-program lint runtime
+guards the analysis engine's per-PR latency, the serve-trace benchmark
+guards the observability layer's overhead when tracing is *enabled*,
+the replicated refresh cycle guards the capture/seal/ship path's
+overhead on the primary, the fleet fan-out benchmark guards the
+vectorised model engine's throughput, and the serve event-loop
+benchmark guards the uninstrumented scheduler hot path, while the
+scalar benchmarks exist as the comparison floor and may drift with
+interpreter noise.
 
 Throughput is read from ``extra_info["elements_per_sec"]`` when the
 benchmark recorded it (benchmarks/bench_core_ops.py does), falling back
@@ -42,7 +45,7 @@ __all__ = [
 
 DEFAULT_BASELINE = Path("benchmarks") / "BENCH_core_ops.json"
 DEFAULT_THRESHOLD = 0.25
-DEFAULT_SELECT = "batch|pool|lint|trace|repl"
+DEFAULT_SELECT = "batch|pool|lint|trace|repl|fleet|event_loop"
 
 
 @dataclass(frozen=True)

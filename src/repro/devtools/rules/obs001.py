@@ -9,8 +9,9 @@ telemetry surface statically complete, so a renamed or invented metric
 cannot ship silently.  Names built at runtime (non-literal first
 arguments) are out of static reach and left to the runtime check.
 
-The same discipline covers **trace spans** under ``serve/`` and
-``storage/``: every ``span("...")`` / ``maybe_span(obs, "...")`` site
+The same discipline covers **trace spans** under ``serve/``,
+``storage/``, ``replication/`` and ``fleet/``: every ``span("...")`` /
+``maybe_span(obs, "...")`` site
 with a literal name must name a span declared in the catalogue's
 ``SPANS`` dict, because the ``repro trace`` tooling and the SLO report
 key on those names.  Core modules are exempt from the span check for
@@ -38,7 +39,7 @@ NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
 CATALOGUE_REL_PATH = "obs/catalogue.py"
 EMIT_METHODS = frozenset({"counter", "gauge", "histogram"})
 #: Module prefixes whose span emit sites must use catalogued names.
-SPAN_CHECKED_PREFIXES = ("serve/", "storage/", "replication/")
+SPAN_CHECKED_PREFIXES = ("serve/", "storage/", "replication/", "fleet/")
 
 
 def _literal_dict_keys(ctx: ProjectContext, variable: str) -> set[str] | None:

@@ -1,0 +1,50 @@
+"""Sharded fleet catalog: consistent-hash placement and fan-out serving.
+
+One :class:`~repro.serve.scheduler.DeterministicScheduler` over a single
+simulated device is the serving layer's ceiling.  This package models a
+*sharded* deployment of that stack -- N shards, each owning its own
+device group, buffer pool, :class:`~repro.serve.catalog.SampleCatalog`
+and scheduler -- glued together by three fleet-level mechanisms:
+
+* **placement** (:mod:`repro.fleet.ring`): samples land on shards via a
+  seeded virtual-node consistent-hash ring with deterministic rebalance
+  plans (adding a shard moves only ~K/N samples, all of them *to* the
+  new shard);
+* **tenant quotas** (:mod:`repro.fleet.quota`): per-tenant token buckets
+  on the cost clock gate both ingest and reads at the fleet front door,
+  layered on the per-shard
+  :class:`~repro.serve.admission.AdmissionController`;
+* **fan-out queries** (:mod:`repro.fleet.router`): multi-sample
+  aggregates decompose into per-shard sub-queries, merge on the global
+  cost clock, and attribute latency to the slowest shard (straggler
+  accounting).
+
+Everything is byte-identical from a seed, and a 1-shard fleet is
+*invisible*: its per-shard report is bit-identical to a plain
+``serve-sim`` run of the same configuration (property-tested).  The
+``repro fleet-sim`` CLI drives either the **full** engine (real catalogs
+and schedulers) or the vectorised **model** engine that scales to tens
+of shards, 10k+ samples and millions of simulated queries.  See
+``docs/fleet.md``.
+"""
+
+from repro.fleet.quota import QuotaSpec, TenantQuotas, parse_quotas
+from repro.fleet.ring import HashRing, RebalancePlan, rebalance_plan
+from repro.fleet.router import FleetRouter
+from repro.fleet.sim import FleetConfig, FleetReport, run_fleet_simulation
+from repro.fleet.workload import FanoutQuery, fanout_workload
+
+__all__ = [
+    "HashRing",
+    "RebalancePlan",
+    "rebalance_plan",
+    "QuotaSpec",
+    "TenantQuotas",
+    "parse_quotas",
+    "FanoutQuery",
+    "fanout_workload",
+    "FleetRouter",
+    "FleetConfig",
+    "FleetReport",
+    "run_fleet_simulation",
+]

@@ -1,0 +1,246 @@
+"""The ``repro fleet-sim`` subcommand: run one sharded fleet simulation.
+
+Prints a fleet summary (placement balance, quota sheds, fan-out widths
+and straggler tail) and can write the full canonical JSON report to a
+file.  Same seed, same bytes -- the CI fleet-smoke step runs the model
+engine twice at 16 shards / 10k samples / 1M+ events and ``cmp``\\ s the
+two reports.
+
+Self-contained on the pattern of :mod:`repro.serve.cli`: the main CLI
+calls :func:`add_fleet_sim_parser` at parser-build time and
+:func:`run_fleet_sim_command` on dispatch; the fleet stack is imported
+lazily so ``repro --help`` stays fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["add_fleet_sim_parser", "run_fleet_sim_command"]
+
+
+def add_fleet_sim_parser(sub) -> argparse.ArgumentParser:
+    parser = sub.add_parser(
+        "fleet-sim",
+        help="simulate the sharded fleet catalog (deterministic)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument("--shards", type=int, default=4, help="shard count")
+    parser.add_argument(
+        "--samples", type=int, default=8, help="catalog size across the fleet"
+    )
+    parser.add_argument(
+        "--sample-size", type=int, default=256, help="elements per sample (M)"
+    )
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=200,
+        help="base workload events (ingest + single-sample queries)",
+    )
+    parser.add_argument(
+        "--fanout",
+        type=int,
+        default=0,
+        help="cross-shard fan-out queries (0 = none)",
+    )
+    parser.add_argument(
+        "--fanout-width",
+        default="2:8",
+        metavar="LOW:HIGH",
+        help="samples per fan-out query, uniform in this range",
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=4, help="tenant count (samples rotate)"
+    )
+    parser.add_argument(
+        "--quota",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help=(
+            "front-door quota tenant:kind:rate:burst (kind reads|ingest; "
+            "tenant * = per-tenant default; repeatable)"
+        ),
+    )
+    parser.add_argument(
+        "--hedge",
+        type=float,
+        default=0.0,
+        metavar="MULT",
+        help=(
+            "hedged re-read accounting: cap sub-queries slower than MULT x "
+            "the query's median sub-latency (0 = off)"
+        ),
+    )
+    parser.add_argument(
+        "--vnodes",
+        type=int,
+        default=64,
+        help="virtual nodes per shard on the placement ring",
+    )
+    parser.add_argument(
+        "--engine",
+        default="auto",
+        choices=("auto", "full", "model"),
+        help="auto picks full at small scale, the vectorised model beyond",
+    )
+    parser.add_argument(
+        "--mean-gap",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="mean arrival gap of the base workload (cost seconds)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="stack",
+        choices=("array", "stack", "nomem", "naive"),
+        help="deferred refresh algorithm for every sample (full engine)",
+    )
+    parser.add_argument(
+        "--policy",
+        default="longest-log:64",
+        help="per-shard refresh scheduling policy (full engine)",
+    )
+    parser.add_argument(
+        "--ingest-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of base events that are ingest batches",
+    )
+    parser.add_argument(
+        "--staleness-bound",
+        type=int,
+        default=256,
+        help="k used by bounded_staleness queries",
+    )
+    parser.add_argument(
+        "--pool-capacity",
+        type=int,
+        default=0,
+        help="page-cache frames per shard device (full engine; 0 = off)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the full canonical JSON report to PATH",
+    )
+    parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="omit per-shard traces from the JSON report (full engine)",
+    )
+    return parser
+
+
+def _parse_width(text: str) -> tuple[int, int]:
+    low, _, high = text.partition(":")
+    try:
+        return (int(low), int(high or low))
+    except ValueError:
+        raise ValueError(
+            f"bad --fanout-width {text!r}, want LOW:HIGH"
+        ) from None
+
+
+def run_fleet_sim_command(args: argparse.Namespace) -> int:
+    from repro.fleet.quota import parse_quotas
+    from repro.fleet.sim import FleetConfig, run_fleet_simulation
+    from repro.obs.api import Instrumentation
+    from repro.storage.cost_model import CostModel
+
+    try:
+        parse_quotas(args.quota)  # surface bad specs before the run starts
+        config = FleetConfig(
+            seed=args.seed,
+            shards=args.shards,
+            samples=args.samples,
+            sample_size=args.sample_size,
+            events=args.events,
+            mean_gap_seconds=args.mean_gap,
+            fanout_queries=args.fanout,
+            fanout_width=_parse_width(args.fanout_width),
+            tenants=args.tenants,
+            quotas=tuple(args.quota),
+            hedge_multiplier=args.hedge,
+            vnodes=args.vnodes,
+            engine=args.engine,
+            algorithm=args.algorithm,
+            policy=args.policy,
+            ingest_fraction=args.ingest_fraction,
+            staleness_bound=args.staleness_bound,
+            pool_capacity=args.pool_capacity,
+        )
+    except ValueError as exc:
+        print(f"fleet-sim: {exc}", file=sys.stderr)
+        return 2
+    instrumentation = Instrumentation(cost_model=CostModel())
+    report = run_fleet_simulation(
+        config,
+        instrumentation=instrumentation,
+        include_trace=not args.no_trace,
+    )
+
+    print(
+        f"fleet-sim  seed={config.seed}  engine={report.engine}  "
+        f"shards={config.shards}  samples={config.samples}"
+    )
+    balance = report.ring["balance"]
+    probe = report.ring["rebalance_probe"]
+    print(
+        f"  placement: min={balance['min']} max={balance['max']} "
+        f"mean={balance['mean']:.1f} per shard  "
+        f"(+1 shard would move {probe['moved']}/{probe['moved'] + probe['stayed']})"
+    )
+    quota = report.quota
+    if quota.get("enabled"):
+        print(
+            f"  quota: admitted={quota['total_admitted']} "
+            f"shed={quota['total_shed']} across {len(quota['tenants'])} tenants"
+        )
+    fleet = report.fleet
+    print(
+        f"  fleet: makespan={fleet['makespan_seconds']:.6f} cost-s  "
+        f"queries={fleet['queries_answered']}  "
+        f"ingest={fleet['ingest_batches']}"
+    )
+    fanout = report.fanout
+    if fanout["queries"]:
+        latency = fanout["latency"]
+        print(
+            f"  fan-out: {fanout['queries']} queries "
+            f"(dispatched={fanout['dispatched']} "
+            f"front-door shed={fanout['front_door_shed']} "
+            f"answered={fanout['answered']} partial={fanout['partial']} "
+            f"unresolved={fanout['unresolved']})"
+        )
+        if latency.get("count"):
+            print(
+                "  fan-out latency (cost-s): "
+                f"p50={latency['p50']:.6f}  p95={latency['p95']:.6f}  "
+                f"p99={latency['p99']:.6f}  max={latency['max']:.6f}"
+            )
+        stragglers = sorted(
+            fanout["straggler"].items(),
+            key=lambda item: (-item[1]["count"], item[0]),
+        )[:3]
+        slowest = ", ".join(
+            f"{shard}x{entry['count']}" for shard, entry in stragglers if entry["count"]
+        )
+        if slowest:
+            print(f"  stragglers: {slowest}")
+        hedge = fanout["hedge"]
+        if hedge["enabled"]:
+            print(
+                f"  hedges: issued={hedge['issued']} won={hedge['won']} "
+                f"saved={hedge['saved_seconds']:.6f} cost-s"
+            )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json(include_trace=not args.no_trace))
+            handle.write("\n")
+        print(f"  report written to {args.json}")
+    return 0

@@ -1,0 +1,232 @@
+"""Seeded consistent-hash ring with virtual nodes.
+
+Placement is the fleet's first invariant: which shard owns a sample must
+be a pure function of ``(seed, shard set, sample name)`` -- never of
+insertion order, process hash randomisation or dict iteration.  The ring
+hashes every shard to ``vnodes`` positions on a 64-bit circle (blake2b,
+keyed by the seed; :pep:`456` hash randomisation never touches it) and
+places a key on the first virtual node at or after the key's own
+position, wrapping at the top.
+
+Virtual nodes give the two classical properties the fleet relies on:
+
+* **balance** -- with ``vnodes`` per shard the expected load imbalance
+  shrinks like ``1/sqrt(vnodes)``, so 64 virtual nodes keep the largest
+  shard within a few percent of the mean at fleet scale;
+* **minimal disruption** -- adding a shard claims only the arc segments
+  its new virtual nodes cut, so only ~K/N of K placed keys move, and
+  every one of them moves *to* the new shard (removal is the mirror
+  image).  :func:`rebalance_plan` turns that into an explicit,
+  deterministic move list the operator (or a test) can inspect.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["HashRing", "RebalancePlan", "rebalance_plan"]
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _hash64(seed: int, token: str) -> int:
+    """64-bit position of ``token`` on the seeded ring.
+
+    blake2b keyed by the seed: deterministic across processes and
+    platforms (unlike built-in ``hash``), and changing the seed re-deals
+    every position, so distinct fleets get independent layouts.
+    """
+    digest = hashlib.blake2b(
+        token.encode("utf-8"),
+        digest_size=8,
+        key=(seed & _MASK64).to_bytes(8, "little"),
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class RebalancePlan:
+    """The deterministic key-move list between two ring layouts.
+
+    ``moves`` is sorted by key; ``stayed`` counts keys whose owner is
+    unchanged.  For a plan produced by adding one shard, every move's
+    destination is the new shard (the consistent-hashing guarantee --
+    asserted by the placement-stability property test).
+    """
+
+    moves: tuple[tuple[str, str, str], ...]  # (key, source, destination)
+    stayed: int
+
+    @property
+    def moved(self) -> int:
+        return len(self.moves)
+
+    @property
+    def total(self) -> int:
+        return self.moved + self.stayed
+
+    def destinations(self) -> set[str]:
+        return {dst for _, _, dst in self.moves}
+
+    def sources(self) -> set[str]:
+        return {src for _, src, _ in self.moves}
+
+    def to_dict(self) -> dict:
+        return {
+            "moved": self.moved,
+            "stayed": self.stayed,
+            "moves": [list(move) for move in self.moves],
+        }
+
+
+class HashRing:
+    """Seeded virtual-node hash ring mapping keys to shard names."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        vnodes: int = 64,
+        shards: Iterable[str] = (),
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be at least 1")
+        self._seed = seed
+        self._vnodes = vnodes
+        # Sorted parallel arrays of virtual-node positions and owners.
+        # Ties on position (astronomically rare at 64 bits) break by
+        # shard name via the tuple sort, deterministically.
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        self._shards: list[str] = []
+        for shard in shards:
+            self.add(shard)
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @property
+    def vnodes(self) -> int:
+        return self._vnodes
+
+    def shards(self) -> list[str]:
+        """Registered shard names, in registration order."""
+        return list(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    def _positions(self, shard: str) -> list[int]:
+        return [
+            _hash64(self._seed, f"vnode:{shard}:{index}")
+            for index in range(self._vnodes)
+        ]
+
+    def add(self, shard: str) -> None:
+        """Register a shard: ``vnodes`` new points claim their arcs."""
+        if not shard:
+            raise ValueError("shard name must be non-empty")
+        if shard in self._shards:
+            raise ValueError(f"shard {shard!r} already on the ring")
+        merged = sorted(
+            zip(self._points, self._owners),
+            key=lambda pair: pair,
+        )
+        for position in self._positions(shard):
+            merged.append((position, shard))
+        merged.sort()
+        self._points = [position for position, _ in merged]
+        self._owners = [owner for _, owner in merged]
+        self._shards.append(shard)
+
+    def remove(self, shard: str) -> None:
+        """Drop a shard; its arcs fall to the next points on the ring."""
+        if shard not in self._shards:
+            raise ValueError(f"no shard {shard!r} on the ring")
+        kept = [
+            (position, owner)
+            for position, owner in zip(self._points, self._owners)
+            if owner != shard
+        ]
+        self._points = [position for position, _ in kept]
+        self._owners = [owner for _, owner in kept]
+        self._shards.remove(shard)
+
+    def place(self, key: str) -> str:
+        """The shard owning ``key``: first virtual node at or after it."""
+        if not self._shards:
+            raise ValueError("cannot place on an empty ring")
+        position = _hash64(self._seed, f"key:{key}")
+        index = bisect_left(self._points, position)
+        if index == len(self._points):
+            index = 0  # wrap past the top of the circle
+        return self._owners[index]
+
+    def placement(self, keys: Sequence[str]) -> dict[str, str]:
+        """Key -> owning shard, in the order keys are given."""
+        return {key: self.place(key) for key in keys}
+
+    def histogram(self, keys: Sequence[str]) -> dict[str, int]:
+        """Keys per shard, every registered shard present (possibly 0)."""
+        counts = {shard: 0 for shard in sorted(self._shards)}
+        for key in keys:
+            counts[self.place(key)] += 1
+        return counts
+
+    def arc_fractions(self) -> dict[str, float]:
+        """Fraction of the 64-bit circle each shard owns (sums to 1)."""
+        if not self._points:
+            return {}
+        fractions = {shard: 0 for shard in self._shards}
+        span = 1 << 64
+        previous = self._points[-1] - span  # the wrap-around arc
+        for position, owner in zip(self._points, self._owners):
+            fractions[owner] += position - previous
+            previous = position
+        return {
+            shard: fractions[shard] / span for shard in sorted(self._shards)
+        }
+
+    def spawn(self, *, add: str | None = None, drop: str | None = None) -> "HashRing":
+        """A new ring with one shard added or removed (same seed/vnodes)."""
+        shards = list(self._shards)
+        if drop is not None:
+            if drop not in shards:
+                raise ValueError(f"no shard {drop!r} on the ring")
+            shards.remove(drop)
+        other = HashRing(seed=self._seed, vnodes=self._vnodes, shards=shards)
+        if add is not None:
+            other.add(add)
+        return other
+
+
+def rebalance_plan(
+    before: HashRing, after: HashRing, keys: Sequence[str]
+) -> RebalancePlan:
+    """The deterministic move list taking ``keys`` from one layout to another.
+
+    Both rings must share a seed (otherwise every placement is re-dealt
+    and the plan is meaningless); the move list is sorted by key so two
+    runs produce byte-identical plans.
+    """
+    if before.seed != after.seed:
+        raise ValueError(
+            f"rings are differently seeded ({before.seed} vs {after.seed}); "
+            "a rebalance plan only makes sense within one layout family"
+        )
+    moves: list[tuple[str, str, str]] = []
+    stayed = 0
+    for key in sorted(set(keys)):
+        source = before.place(key)
+        destination = after.place(key)
+        if source == destination:
+            stayed += 1
+        else:
+            moves.append((key, source, destination))
+    return RebalancePlan(moves=tuple(moves), stayed=stayed)

@@ -176,6 +176,33 @@ INSTRUMENTS: dict[str, InstrumentSpec] = {
     "replication.backlog_batches": InstrumentSpec(
         "gauge", "sealed commit batches waiting in the primary's outbox"
     ),
+    # -- sharded fleet catalog (repro.fleet) ---------------------------------
+    "fleet.shards": InstrumentSpec(
+        "gauge", "shards on the fleet's placement ring"
+    ),
+    "fleet.quota_admitted": InstrumentSpec(
+        "counter", "requests admitted by a front-door tenant token bucket"
+    ),
+    "fleet.quota_shed": InstrumentSpec(
+        "counter", "requests shed at the front door by tenant quotas"
+    ),
+    "fleet.fanout_queries": InstrumentSpec(
+        "counter", "cross-shard fan-out queries presented to the router"
+    ),
+    "fleet.fanout_subqueries": InstrumentSpec(
+        "counter", "per-shard sub-queries dispatched for fan-out queries"
+    ),
+    "fleet.hedges_issued": InstrumentSpec(
+        "counter", "sub-queries past the hedge deadline (hedged re-read issued)"
+    ),
+    "fleet.hedges_won": InstrumentSpec(
+        "counter", "hedged re-reads that beat the straggler's completion"
+    ),
+    "fleet.straggler_latency_seconds": InstrumentSpec(
+        "histogram",
+        "slowest-shard (pre-hedge) latency of each answered fan-out query",
+        "seconds",
+    ),
     # -- vectorised experiment engine ---------------------------------------
     "engine.candidates": InstrumentSpec(
         "counter", "candidates realised by the vectorised engine", "elements"
@@ -224,6 +251,10 @@ SPANS: dict[str, str] = {
     "session.read": "QuerySession read path (freshness check + scan + estimate)",
     "session.refresh_forced": "refresh forced on the read path by a contract",
     "session.scan": "full sample scan feeding the estimator",
+    # -- sharded fleet catalog (repro.fleet) ---------------------------------
+    "fleet.place": "consistent-hash placement of the catalog onto shards",
+    "fleet.shard_run": "one shard's full scheduler run (attrs: shard, events)",
+    "fleet.fanout": "one fan-out query's merge (attrs: width, status, straggler)",
     # -- replication (repro.replication) -------------------------------------
     "replication.ship": "one commit batch shipped to the replica (attrs: lag)",
     "replication.apply": "one commit batch replayed onto replica devices",

@@ -35,6 +35,7 @@ jobs -- this is what makes policy *order* observable):
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left, insort
 from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Protocol, Sequence
@@ -369,6 +370,13 @@ class DeterministicScheduler:
             (event.time, event.seq, event) for event in events
         ]
         heapq.heapify(heap)
+        # Sorted mirror of every heap entry's time, with `head` marking how
+        # many have been popped.  Pops leave the heap in ascending (time,
+        # seq) order and a deferred re-queue lands at `busy_until` (>= the
+        # time just popped), so the popped prefix stays a prefix and the
+        # backlog count below is one bisect instead of an O(n) scan.
+        times = sorted(entry[0] for entry in heap)
+        head = 0
         # Deferred re-queues get sequence numbers above every workload seq,
         # so a deferral never jumps ahead of a same-instant arrival.
         next_seq_box = [max((event.seq for event in events), default=-1) + 1]
@@ -385,28 +393,15 @@ class DeterministicScheduler:
 
         while heap:
             arrival, seq, event = heapq.heappop(heap)
+            head += 1
             start = arrival if arrival > busy_until else busy_until
             wait = start - arrival
             # Backlog proxy: arrivals that will queue up before the device
             # frees again (deterministic -- derived only from the heap).
-            depth = sum(1 for entry in heap if entry[0] < busy_until)
+            depth = bisect_left(times, busy_until, head) - head
+            heap_size_before = len(heap)
 
-            with ExitStack() as stack:
-                if obs is not None:
-                    # One deterministic trace id per workload event: every
-                    # span opened on its behalf -- admission, session read,
-                    # triggered refresh, pool and device I/O -- shares it.
-                    stack.enter_context(
-                        obs.tracer.trace_context(self._trace_id(f"{event.seq:06d}"))
-                    )
-                    stack.enter_context(
-                        obs.span(
-                            "serve.event",
-                            kind=event.kind,
-                            seq=event.seq,
-                            sample=event.sample,
-                        )
-                    )
+            if obs is None:
                 busy_until = self._process_event(
                     event=event,
                     seq=seq,
@@ -424,6 +419,46 @@ class DeterministicScheduler:
                     refreshes_by_sample=refreshes_by_sample,
                     report=report,
                 )
+            else:
+                with ExitStack() as stack:
+                    # One deterministic trace id per workload event: every
+                    # span opened on its behalf -- admission, session read,
+                    # triggered refresh, pool and device I/O -- shares it.
+                    stack.enter_context(
+                        obs.tracer.trace_context(self._trace_id(f"{event.seq:06d}"))
+                    )
+                    stack.enter_context(
+                        obs.span(
+                            "serve.event",
+                            kind=event.kind,
+                            seq=event.seq,
+                            sample=event.sample,
+                        )
+                    )
+                    busy_until = self._process_event(
+                        event=event,
+                        seq=seq,
+                        arrival=arrival,
+                        start=start,
+                        wait=wait,
+                        depth=depth,
+                        busy_until=busy_until,
+                        heap=heap,
+                        next_seq_box=next_seq_box,
+                        deferred_once=deferred_once,
+                        trace=trace,
+                        latencies=latencies,
+                        stalenesses=stalenesses,
+                        refreshes_by_sample=refreshes_by_sample,
+                        report=report,
+                    )
+            if len(heap) > heap_size_before:
+                # A deferral re-queued the event at the pre-event
+                # busy_until (which the defer branch returns unchanged);
+                # keep the sorted mirror in step.  Every already-popped
+                # time is <= that value, so the insertion point can never
+                # fall inside the popped prefix.
+                insort(times, busy_until)
             if self._ts is not None:
                 self._sample_timeseries(busy_until, depth, device_mark)
             # Shipping opportunity: the async replication daemon's wakeup,
@@ -436,16 +471,17 @@ class DeterministicScheduler:
         drain_index = 0
         while True:
             jobs_before = report.refresh_jobs
-            with ExitStack() as stack:
-                if obs is not None:
-                    stack.enter_context(
-                        obs.tracer.trace_context(
-                            self._trace_id(f"drain:{drain_index:06d}")
-                        )
-                    )
+            if obs is None:
                 busy_until = self._run_one_refresh_job(
                     busy_until, trace, refreshes_by_sample, report
                 )
+            else:
+                with obs.tracer.trace_context(
+                    self._trace_id(f"drain:{drain_index:06d}")
+                ):
+                    busy_until = self._run_one_refresh_job(
+                        busy_until, trace, refreshes_by_sample, report
+                    )
             if report.refresh_jobs == jobs_before:
                 break
             drain_index += 1

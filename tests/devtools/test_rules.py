@@ -470,6 +470,64 @@ def test_obs001_span_discipline_covers_storage(tmp_path):
     assert "storage.device.bogus" in findings[0].message
 
 
+FLEET_CATALOGUE = """\
+    INSTRUMENTS = {
+        "fleet.quota_shed": ("counter", "sheds"),
+        "fleet.fanout_queries": ("counter", "queries"),
+    }
+    SPANS = {
+        "fleet.place": "consistent-hash placement",
+        "fleet.fanout": "one fan-out merge",
+    }
+"""
+
+
+def test_obs001_span_discipline_covers_fleet(tmp_path):
+    """fleet/ emit sites obey the span catalogue like serve/ and storage/."""
+    make_tree(tmp_path, {
+        "obs/catalogue.py": FLEET_CATALOGUE,
+        "fleet/router.py": """\
+            def route(instr):
+                with instr.span("fleet.place", shards=4):
+                    pass
+                with instr.span("fleet.rogue_span"):
+                    pass
+        """,
+    })
+    findings = lint(tmp_path, rules=["OBS001"])
+    assert [(f.rule_id, f.line) for f in findings] == [("OBS001", 4)]
+    assert "fleet.rogue_span" in findings[0].message
+    assert "SPANS" in findings[0].message
+
+
+def test_obs001_covers_fleet_instruments(tmp_path):
+    make_tree(tmp_path, {
+        "obs/catalogue.py": FLEET_CATALOGUE,
+        "fleet/quota.py": """\
+            def wire(instr):
+                instr.counter("fleet.quota_shed").inc()
+                instr.counter("fleet.quota_invented").inc()
+        """,
+    })
+    findings = lint(tmp_path, rules=["OBS001"])
+    assert [(f.rule_id, f.line) for f in findings] == [("OBS001", 3)]
+    assert "fleet.quota_invented" in findings[0].message
+
+
+def test_obs001_real_fleet_package_is_clean():
+    """Every fleet.* instrument and span the real package emits is
+    declared in the real catalogue."""
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    findings = [
+        f
+        for f in lint(src, rules=["OBS001"])
+        if "fleet" in str(getattr(f, "path", ""))
+    ]
+    assert findings == []
+
+
 def test_obs001_span_discipline_exempts_core_modules(tmp_path):
     # Core span names ("insert", "refresh", ...) predate the catalogue's
     # dotted convention; only serve/ and storage/ emit sites are checked.

@@ -1,0 +1,106 @@
+"""HashRing: determinism, balance, and the rebalance-plan contract."""
+
+import pytest
+
+from repro.fleet.ring import HashRing, rebalance_plan
+
+NAMES = ["shard00", "shard01", "shard02", "shard03"]
+KEYS = [f"s{index:02d}" for index in range(400)]
+
+
+class TestPlacement:
+    def test_pure_function_of_seed_and_shard_set(self):
+        a = HashRing(seed=11, vnodes=64, shards=NAMES)
+        b = HashRing(seed=11, vnodes=64, shards=NAMES)
+        assert a.placement(KEYS) == b.placement(KEYS)
+
+    def test_insertion_order_does_not_matter(self):
+        forward = HashRing(seed=3, shards=NAMES)
+        backward = HashRing(seed=3, shards=list(reversed(NAMES)))
+        assert forward.placement(KEYS) == backward.placement(KEYS)
+
+    def test_different_seeds_redeal_the_layout(self):
+        a = HashRing(seed=1, shards=NAMES).placement(KEYS)
+        b = HashRing(seed=2, shards=NAMES).placement(KEYS)
+        assert a != b
+
+    def test_histogram_covers_every_shard_and_every_key(self):
+        histogram = HashRing(seed=5, shards=NAMES).histogram(KEYS)
+        assert sorted(histogram) == sorted(NAMES)
+        assert sum(histogram.values()) == len(KEYS)
+
+    def test_balance_within_reason_at_64_vnodes(self):
+        histogram = HashRing(seed=5, vnodes=64, shards=NAMES).histogram(KEYS)
+        mean = len(KEYS) / len(NAMES)
+        assert max(histogram.values()) < 2.5 * mean
+        assert min(histogram.values()) > 0
+
+    def test_arc_fractions_sum_to_one(self):
+        fractions = HashRing(seed=9, shards=NAMES).arc_fractions()
+        assert sorted(fractions) == sorted(NAMES)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_empty_ring_cannot_place(self):
+        with pytest.raises(ValueError, match="empty ring"):
+            HashRing(seed=0).place("s00")
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(seed=4, shards=["only"])
+        assert set(ring.placement(KEYS).values()) == {"only"}
+
+
+class TestMembership:
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(seed=0, shards=NAMES)
+        with pytest.raises(ValueError, match="already on the ring"):
+            ring.add("shard01")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ValueError, match="no shard"):
+            HashRing(seed=0, shards=NAMES).remove("shard99")
+
+    def test_add_then_remove_restores_placement(self):
+        ring = HashRing(seed=7, shards=NAMES)
+        before = ring.placement(KEYS)
+        ring.add("shard04")
+        ring.remove("shard04")
+        assert ring.placement(KEYS) == before
+
+    def test_spawn_leaves_the_original_untouched(self):
+        ring = HashRing(seed=7, shards=NAMES)
+        grown = ring.spawn(add="shard04")
+        assert ring.shards() == NAMES
+        assert grown.shards() == NAMES + ["shard04"]
+
+
+class TestRebalancePlan:
+    def test_moves_sorted_by_key_and_deterministic(self):
+        ring = HashRing(seed=13, shards=NAMES)
+        grown = ring.spawn(add="shard04")
+        plan_a = rebalance_plan(ring, grown, KEYS)
+        plan_b = rebalance_plan(ring, grown, list(reversed(KEYS)))
+        assert plan_a == plan_b
+        assert list(plan_a.moves) == sorted(plan_a.moves)
+
+    def test_grow_moves_only_to_the_new_shard(self):
+        ring = HashRing(seed=13, shards=NAMES)
+        plan = rebalance_plan(ring, ring.spawn(add="shard04"), KEYS)
+        assert plan.destinations() == {"shard04"}
+        assert plan.total == len(KEYS)
+
+    def test_shrink_moves_only_the_victims_keys(self):
+        ring = HashRing(seed=13, shards=NAMES)
+        plan = rebalance_plan(ring, ring.spawn(drop="shard02"), KEYS)
+        assert plan.sources() == {"shard02"}
+
+    def test_mismatched_seeds_rejected(self):
+        a = HashRing(seed=1, shards=NAMES)
+        b = HashRing(seed=2, shards=NAMES)
+        with pytest.raises(ValueError, match="differently seeded"):
+            rebalance_plan(a, b, KEYS)
+
+    def test_to_dict_shape(self):
+        ring = HashRing(seed=13, shards=NAMES)
+        payload = rebalance_plan(ring, ring.spawn(add="shard04"), KEYS).to_dict()
+        assert payload["moved"] + payload["stayed"] == len(KEYS)
+        assert all(len(move) == 3 for move in payload["moves"])

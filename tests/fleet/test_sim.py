@@ -1,0 +1,178 @@
+"""run_fleet_simulation: engine resolution, report shape, determinism.
+
+Covers the full (router-driven) engine here; the vectorised model gets
+its own module.  The 1-shard bit-identity anchor lives in
+tests/properties/test_prop_fleet.py.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet.sim import (
+    AUTO_FULL_MAX_EVENTS,
+    FleetConfig,
+    run_fleet_simulation,
+)
+from repro.obs.api import Instrumentation
+
+CONFIG = FleetConfig(
+    seed=7,
+    shards=3,
+    samples=6,
+    events=150,
+    fanout_queries=12,
+    engine="full",
+)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shards": 0},
+            {"samples": 0},
+            {"tenants": 0},
+            {"fanout_queries": -1},
+            {"hedge_multiplier": -0.5},
+            {"engine": "warp"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FleetConfig(**kwargs)
+
+    def test_auto_resolves_full_when_small(self):
+        assert FleetConfig(events=100).resolve_engine() == "full"
+
+    def test_auto_resolves_model_when_large(self):
+        big = FleetConfig(events=AUTO_FULL_MAX_EVENTS + 1)
+        assert big.resolve_engine() == "model"
+        wide = FleetConfig(samples=1000)
+        assert wide.resolve_engine() == "model"
+
+    def test_fanout_counts_against_the_auto_bound(self):
+        config = FleetConfig(events=AUTO_FULL_MAX_EVENTS, fanout_queries=1)
+        assert config.resolve_engine() == "model"
+
+    def test_serve_config_mirrors_the_shared_block(self):
+        serve = CONFIG.serve_config()
+        assert serve.seed == CONFIG.seed
+        assert serve.samples == CONFIG.samples
+        assert serve.events == CONFIG.events
+        assert serve.algorithm == CONFIG.algorithm
+        assert serve.sample_names() == CONFIG.sample_names()
+
+
+class TestFullEngineReport:
+    def test_same_seed_byte_identical(self):
+        a = run_fleet_simulation(CONFIG).to_json()
+        b = run_fleet_simulation(CONFIG).to_json()
+        assert a == b
+
+    def test_different_seed_differs(self):
+        other = FleetConfig(
+            seed=8, shards=3, samples=6, events=150, fanout_queries=12,
+            engine="full",
+        )
+        assert run_fleet_simulation(CONFIG).to_json() != run_fleet_simulation(
+            other
+        ).to_json()
+
+    def test_sections_present(self):
+        report = run_fleet_simulation(CONFIG).to_dict()
+        assert sorted(report) == [
+            "config", "engine", "fanout", "fleet", "quota", "ring", "shards",
+        ]
+        assert report["engine"] == "full"
+        assert sorted(report["shards"]) == ["shard00", "shard01", "shard02"]
+
+    def test_ring_section_accounts_for_every_sample(self):
+        ring = run_fleet_simulation(CONFIG).to_dict()["ring"]
+        assert sum(ring["histogram"].values()) == CONFIG.samples
+        probe = ring["rebalance_probe"]
+        assert probe["moved"] + probe["stayed"] == CONFIG.samples
+
+    def test_fanout_accounting_adds_up(self):
+        fanout = run_fleet_simulation(CONFIG).to_dict()["fanout"]
+        assert fanout["queries"] == CONFIG.fanout_queries
+        assert (
+            fanout["answered"]
+            + fanout["partial"]
+            + fanout["unresolved"]
+            + fanout["front_door_shed"]
+            == CONFIG.fanout_queries
+        )
+        assert fanout["widths"]["count"] == fanout["dispatched"]
+
+    def test_straggler_attribution_covers_answered_queries(self):
+        report = run_fleet_simulation(CONFIG).to_dict()
+        straggler = report["fanout"]["straggler"]
+        assert sorted(straggler) == sorted(report["shards"])
+        counted = sum(entry["count"] for entry in straggler.values())
+        assert counted == report["fanout"]["answered"]
+
+    def test_fleet_rollup_sums_the_shards(self):
+        report = run_fleet_simulation(CONFIG).to_dict()
+        ingest = sum(
+            shard["ingest_batches"] for shard in report["shards"].values()
+        )
+        assert report["fleet"]["ingest_batches"] == ingest
+
+    def test_no_trace_strips_shard_traces(self):
+        report = run_fleet_simulation(CONFIG, include_trace=False)
+        payload = report.to_dict(include_trace=False)
+        assert all("trace" not in shard for shard in payload["shards"].values())
+
+
+class TestQuotasAndHedging:
+    def test_quota_gate_sheds_and_reports(self):
+        config = FleetConfig(
+            seed=7, shards=3, samples=6, events=300,
+            mean_gap_seconds=0.002, quotas=("*:reads:10:5",), engine="full",
+        )
+        report = run_fleet_simulation(config).to_dict()
+        assert report["quota"]["enabled"] is True
+        assert report["quota"]["total_shed"] > 0
+        assert (
+            report["quota"]["total_shed"] + report["quota"]["total_admitted"]
+            > 0
+        )
+
+    def test_no_quotas_section_disabled(self):
+        report = run_fleet_simulation(CONFIG).to_dict()
+        assert report["quota"]["enabled"] is False
+        assert report["quota"]["total_shed"] == 0
+
+    def test_hedging_reports_and_never_perturbs_shards(self):
+        plain = FleetConfig(
+            seed=7, shards=3, samples=6, events=150, fanout_queries=12,
+            engine="full",
+        )
+        hedged = FleetConfig(
+            seed=7, shards=3, samples=6, events=150, fanout_queries=12,
+            hedge_multiplier=2.0, engine="full",
+        )
+        a = run_fleet_simulation(plain).to_dict()
+        b = run_fleet_simulation(hedged).to_dict()
+        assert b["fanout"]["hedge"]["enabled"] is True
+        assert json.dumps(a["shards"], sort_keys=True) == json.dumps(
+            b["shards"], sort_keys=True
+        )
+        # Hedging can only improve the merged tail, never worsen it.
+        assert b["fanout"]["latency"]["max"] <= a["fanout"]["latency"]["max"]
+
+
+class TestInstrumentation:
+    def test_fleet_counters_and_spans_recorded(self):
+        obs = Instrumentation()
+        run_fleet_simulation(CONFIG, instrumentation=obs)
+        counters = {
+            entry["name"]: entry["value"]
+            for entry in obs.snapshot()["instruments"]
+            if entry["kind"] == "counter"
+        }
+        assert counters.get("fleet.fanout_queries") == CONFIG.fanout_queries
+        assert counters.get("fleet.fanout_subqueries", 0) > 0
+        names = {span.name for span in obs.tracer.finished}
+        assert {"fleet.place", "fleet.shard_run", "fleet.fanout"} <= names

@@ -1,0 +1,87 @@
+"""fanout_workload: seeded, distinct, canonically ordered fan-outs."""
+
+import pytest
+
+from repro.fleet.workload import FANOUT_AGGREGATES, FanoutQuery, fanout_workload
+from repro.rng.random_source import RandomSource
+from repro.serve.session import Freshness
+
+NAMES = [f"s{index:02d}" for index in range(12)]
+TENANTS = ["tenant00", "tenant01"]
+
+
+def make(queries=50, **kwargs):
+    return fanout_workload(
+        RandomSource(21).spawn("fanout"), NAMES, TENANTS, queries, **kwargs
+    )
+
+
+class TestStream:
+    def test_deterministic(self):
+        assert make() == make()
+
+    def test_seqs_start_at_seq_base_and_are_dense(self):
+        stream = make(queries=20, seq_base=500)
+        assert [q.seq for q in stream] == list(range(500, 520))
+
+    def test_arrivals_strictly_increase(self):
+        stream = make()
+        times = [q.time for q in stream]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_samples_distinct_sorted_and_within_width_range(self):
+        for query in make(width_range=(2, 5)):
+            assert list(query.samples) == sorted(set(query.samples))
+            assert 2 <= query.width <= 5
+
+    def test_width_clipped_to_catalog_size(self):
+        stream = fanout_workload(
+            RandomSource(3).spawn("fanout"), NAMES[:3], TENANTS, 10,
+            width_range=(2, 8),
+        )
+        assert all(query.width <= 3 for query in stream)
+
+    def test_aggregates_alternate_over_the_additive_pair(self):
+        aggregates = [q.aggregate for q in make(queries=6)]
+        assert aggregates == list(FANOUT_AGGREGATES) * 3
+
+    def test_tenants_drawn_from_the_given_pool(self):
+        assert {q.tenant for q in make()} <= set(TENANTS)
+
+    def test_empty_inputs_rejected(self):
+        rng = RandomSource(0)
+        with pytest.raises(ValueError, match="sample name"):
+            fanout_workload(rng, [], TENANTS, 1)
+        with pytest.raises(ValueError, match="tenant"):
+            fanout_workload(rng, NAMES, [], 1)
+        with pytest.raises(ValueError, match="non-negative"):
+            fanout_workload(rng, NAMES, TENANTS, -1)
+        with pytest.raises(ValueError, match="width_range"):
+            fanout_workload(rng, NAMES, TENANTS, 1, width_range=(0, 4))
+
+
+class TestFanoutQuery:
+    def test_rejects_duplicate_samples(self):
+        with pytest.raises(ValueError, match="distinct"):
+            FanoutQuery(
+                time=0.0, seq=0, tenant="t", samples=("a", "a"),
+                freshness=Freshness("serve_stale"), aggregate="count",
+                threshold=0,
+            )
+
+    def test_rejects_non_additive_aggregate(self):
+        with pytest.raises(ValueError, match="aggregate"):
+            FanoutQuery(
+                time=0.0, seq=0, tenant="t", samples=("a",),
+                freshness=Freshness("serve_stale"), aggregate="fraction",
+                threshold=0,
+            )
+
+    def test_rejects_empty_sample_list(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FanoutQuery(
+                time=0.0, seq=0, tenant="t", samples=(),
+                freshness=Freshness("serve_stale"), aggregate="count",
+                threshold=0,
+            )
