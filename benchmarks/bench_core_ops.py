@@ -140,6 +140,63 @@ def test_insert_scalar_throughput(benchmark, scale):
     _bench_inserts(benchmark, scale, scalar=True)
 
 
+# -- weighted-kind insert path: one draw + one key per record ----------------
+#
+# The A-ES weighted kind pays one uniform draw, one log and one float
+# compare per arriving record (the exponential jump is deliberately traded
+# away for deferred/eager bit-identity -- docs/sample_kinds.md), so its
+# online path is inherently O(n) like the scalar uniform path.  Gated by
+# ``repro bench-compare`` (select matches ``weighted``) so a regression in
+# the kind logger's hot loop fails CI.
+
+
+def _fresh_weighted_maintainer(sample_size: int, initial_dataset: int, seed: int):
+    from repro.core.kinds import make_kind
+
+    cost = CostModel()
+    rng = RandomSource(seed=seed)
+    kind = make_kind("weighted", sample_size)
+    codec = kind.codec(16)
+    rows = kind.build_initial(list(range(initial_dataset)), rng)
+    sample = SampleFile(SimulatedBlockDevice(cost, "sample"), codec, sample_size)
+    sample.initialize(rows)
+    return SampleMaintainer(
+        sample,
+        rng,
+        strategy="candidate",
+        initial_dataset_size=kind.seen,
+        log=LogFile(SimulatedBlockDevice(cost, "log"), codec),
+        algorithm=ArrayRefresh(),
+        policy=ManualPolicy(),
+        cost_model=cost,
+        kind=kind,
+    )
+
+
+def test_weighted_insert_throughput(benchmark, scale):
+    """Weighted-kind batched inserts: draw, threshold test, bulk append."""
+    sample_size, initial_dataset, inserts = _insert_workload(scale)
+    # The initial A-ES build draws once per dataset element; keep the
+    # dataset bench-sized so setup stays proportionate to the run.
+    initial_dataset = min(initial_dataset, 10 * sample_size)
+    stream = range(initial_dataset, initial_dataset + inserts)
+
+    def setup():
+        return (
+            (_fresh_weighted_maintainer(sample_size, initial_dataset, seed=19),),
+            {},
+        )
+
+    def run(maintainer):
+        maintainer.insert_many(stream)
+        return maintainer.stats.candidates_logged
+
+    accepted = benchmark.pedantic(run, setup=setup, rounds=5, warmup_rounds=1)
+    benchmark.extra_info["elements"] = inserts
+    benchmark.extra_info["elements_per_sec"] = inserts / benchmark.stats.stats.mean
+    assert 0 < accepted <= inserts
+
+
 def test_insert_batch_throughput(benchmark, scale):
     """The O(accepted) skip-based batch path (bit-identical to scalar)."""
     _bench_inserts(benchmark, scale, scalar=False)

@@ -1,0 +1,690 @@
+"""Pluggable sample kinds: uniform, weighted (A-ES) and sliding-window.
+
+The paper states deferred maintenance for *uniform* reservoirs, but the
+decomposition it rests on -- an **acceptance test** at insert time, a
+**victim-slot choice** at refresh time, and a candidate log in between --
+generalises to other sampling schemes.  This module owns that
+generalisation: a :class:`SampleKind` captures, per scheme,
+
+* what a stored **row** is (value plus kind payload: A-ES key, arrival
+  sequence) and which codec serialises it;
+* the **acceptance test** run at insert time against *stale* state (state
+  as of the last refresh), which decides what enters the candidate log;
+* the **replay** run at refresh time, which folds logged candidates into
+  the on-disk sample and picks victim slots.
+
+Deferred-maintenance proof obligations (checked bit-exactly by
+``tests/properties/test_prop_kinds.py``; see ``docs/sample_kinds.md``):
+
+* **uniform** -- the classic scheme; acceptance via Vitter skips, victim
+  slots drawn at refresh.  Handled by the existing
+  :class:`~repro.core.logs.CandidateLogger` path; :class:`UniformKind`
+  is a marker so catalogs and manifests can name it.
+* **weighted** (:class:`WeightedKind`) -- A-ES exponential keys: each
+  record draws exactly one uniform and gets the key ``-ln(1-u)/w``; the
+  sample holds the ``M`` *smallest* keys.  The insert-time acceptance
+  test compares against the stale threshold (the sample's max key as of
+  the last refresh).  Because the live threshold is non-increasing, the
+  log is a superset of every eagerly-accepted record, and the refresh
+  replay -- which re-filters against the evolving threshold -- lands on
+  exactly the eager sample.  The victim slot is the arg-max key, so no
+  refresh-time randomness is needed and the PRNG stream (one draw per
+  record) is identical between the eager and deferred paths.
+* **window** (:class:`WindowKind`) -- the last ``W`` rows; fully
+  deterministic (no RNG draws at all).  Every arriving row is accepted
+  and logged with its arrival sequence; expiry happens at refresh time
+  from the log: only the last ``min(pending, W)`` logged rows can be
+  live, and each maps to the fixed slot ``seq mod W``.
+
+Composite kinds (one logical sample made of many per-group reservoirs)
+are registered in :data:`COMPOSITE_KINDS` and built with
+:func:`make_composite`; they cannot live in a single
+:class:`~repro.storage.files.SampleFile` and are therefore rejected by
+:func:`make_kind` with a pointer to the composite factory.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import TYPE_CHECKING, Protocol, Sequence
+
+from repro.core.logs import CandidateLogSource
+from repro.rng.random_source import RandomSource
+from repro.storage.files import LogFile
+from repro.storage.records import (
+    IntRecordCodec,
+    RecordCodec,
+    TimestampedRecordCodec,
+    WeightedRecordCodec,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.stratified import StratifiedSampleManager
+    from repro.storage.superblock import MaintenanceCheckpoint
+
+__all__ = [
+    "SampleKind",
+    "UniformKind",
+    "WeightedKind",
+    "WindowKind",
+    "KindCandidateLogger",
+    "KINDS",
+    "COMPOSITE_KINDS",
+    "DEFAULT_WEIGHT_MOD",
+    "parse_kind_spec",
+    "make_kind",
+    "make_composite",
+    "eager_oracle",
+]
+
+#: Registered single-file kinds, in manifest index order.  The position
+#: of a name in this tuple is serialised into superblock manifests
+#: (version 3+), so entries must never be reordered, only appended.
+KINDS = ("uniform", "weighted", "window")
+
+#: Registered composite kinds: one logical sample spread over many
+#: per-group reservoirs.  Built via :func:`make_composite`, not
+#: :func:`make_kind` -- they have no single-file row representation.
+COMPOSITE_KINDS = ("stratified",)
+
+DEFAULT_WEIGHT_MOD = 16
+
+
+class SampleKind(Protocol):
+    """The per-scheme contract the maintenance stack drives.
+
+    A kind owns the mutable per-sample state that insert-time acceptance
+    depends on (dataset size, stale threshold, next arrival sequence).
+    One kind instance belongs to one sample; the candidate logger and the
+    refresh algorithm share it.
+    """
+
+    name: str
+
+    @property
+    def capacity(self) -> int:  # pragma: no cover - protocol
+        ...
+
+    @property
+    def seen(self) -> int:  # pragma: no cover - protocol
+        ...
+
+    def params(self) -> dict:  # pragma: no cover - protocol
+        ...
+
+    def spec(self) -> str:  # pragma: no cover - protocol
+        ...
+
+    def codec(self, record_size: int) -> RecordCodec:  # pragma: no cover
+        ...
+
+    def value_of(self, row) -> int:  # pragma: no cover - protocol
+        ...
+
+    def population(self) -> int:  # pragma: no cover - protocol
+        ...
+
+    def effective_staleness(self, pending: int) -> int:  # pragma: no cover
+        ...
+
+    def build_initial(self, dataset: Sequence[int], rng: RandomSource) -> list:
+        ...  # pragma: no cover - protocol
+
+    def draw(self, element: int, rng: RandomSource):  # pragma: no cover
+        ...
+
+    def accept(self, record) -> bool:  # pragma: no cover - protocol
+        ...
+
+    def replay_start(self, total: int) -> int:  # pragma: no cover - protocol
+        ...
+
+    def begin_replay(self, rows: list):  # pragma: no cover - protocol
+        ...
+
+    def commit_replay(self, replay) -> None:  # pragma: no cover - protocol
+        ...
+
+    def checkpoint_fields(self) -> tuple[int, float]:  # pragma: no cover
+        ...
+
+    def restore_state(self, checkpoint: "MaintenanceCheckpoint") -> None:
+        ...  # pragma: no cover - protocol
+
+    def plausible(self, rows: Sequence, seen: int) -> bool:  # pragma: no cover
+        ...
+
+
+# ---------------------------------------------------------------------------
+# Uniform (the classic scheme; a marker for catalogs and manifests)
+# ---------------------------------------------------------------------------
+
+
+class UniformKind:
+    """The paper's uniform reservoir, as a registry entry.
+
+    Maintenance of uniform samples stays on the pre-kind code path
+    (:class:`~repro.core.logs.CandidateLogger` + the unmodified refresh
+    algorithms) -- this class only gives that path a name, parameters and
+    a codec so kind-aware catalogs and manifests treat "uniform" like any
+    other kind.  Runs configured with it are byte-identical to runs that
+    never mention kinds at all.
+    """
+
+    name = "uniform"
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("sample capacity must be positive")
+        self._capacity = capacity
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def seen(self) -> int:
+        # The reservoir sampler owns the dataset-size counter on the
+        # uniform path; the kind object is never consulted for it.
+        raise NotImplementedError("uniform maintenance tracks seen in the sampler")
+
+    def params(self) -> dict:
+        return {}
+
+    def spec(self) -> str:
+        return "uniform"
+
+    def codec(self, record_size: int) -> RecordCodec:
+        return IntRecordCodec(record_size)
+
+    def value_of(self, row) -> int:
+        return row
+
+    def effective_staleness(self, pending: int) -> int:
+        return pending
+
+    def checkpoint_fields(self) -> tuple[int, float]:
+        return 0, 0.0
+
+    def restore_state(self, checkpoint) -> None:
+        return None
+
+    def plausible(self, rows: Sequence, seen: int) -> bool:
+        return all(isinstance(row, int) for row in rows)
+
+
+# ---------------------------------------------------------------------------
+# Weighted reservoir (A-ES exponential keys)
+# ---------------------------------------------------------------------------
+
+
+class _WeightedReplay:
+    """Evolving-threshold application of weighted records to sample rows.
+
+    This is the *eager* maintenance rule -- keep the ``M`` smallest keys,
+    evict the arg-max -- applied in memory.  The deferred refresh runs it
+    over the candidate log; the immediate oracle runs it per arrival.
+    The max-key lookup is a lazy-invalidation heap: stale entries (slots
+    whose key has since shrunk) are popped on sight, ties break on the
+    lower slot, so the victim choice is deterministic.
+    """
+
+    __slots__ = ("_rows", "_keys", "_heap")
+
+    def __init__(self, rows: list) -> None:
+        self._rows = rows
+        self._keys = [row[1] for row in rows]
+        self._heap = [(-key, slot) for slot, key in enumerate(self._keys)]
+        heapq.heapify(self._heap)
+
+    def _peek_max(self) -> tuple[float, int]:
+        heap = self._heap
+        keys = self._keys
+        while True:
+            neg_key, slot = heap[0]
+            if keys[slot] == -neg_key:
+                return -neg_key, slot
+            heapq.heappop(heap)
+
+    @property
+    def max_key(self) -> float:
+        """The live threshold: the largest key currently in the sample."""
+        return self._peek_max()[0]
+
+    def step(self, record) -> int | None:
+        """Apply one record; returns the displaced slot, or None."""
+        key = record[1]
+        max_key, slot = self._peek_max()
+        if key < max_key:
+            self._rows[slot] = record
+            self._keys[slot] = key
+            heapq.heapreplace(self._heap, (-key, slot))
+            return slot
+        return None
+
+
+class WeightedKind:
+    """Weighted reservoir via A-ES exponential keys, one draw per record.
+
+    A record of value ``v`` has weight ``w(v) = 1 + (v mod weight_mod)``
+    and key ``-ln(1-u)/w(v)`` for a single uniform ``u``; the sample is
+    the ``M`` records with the smallest keys (equivalently, A-ES keeps
+    the largest ``u^(1/w)``).  The classic A-ES *exponential jump* skips
+    rejected records without drawing for them -- but the jump length
+    depends on the live threshold, which deferred maintenance does not
+    know between refreshes.  This implementation deliberately trades the
+    jump for one draw per record, which buys the property everything
+    here is built on: the eager path, the deferred path, the scalar path
+    and the batch path all consume the identical PRNG stream.
+    """
+
+    name = "weighted"
+
+    def __init__(self, capacity: int, weight_mod: int = DEFAULT_WEIGHT_MOD) -> None:
+        if capacity <= 0:
+            raise ValueError("sample capacity must be positive")
+        if weight_mod <= 0:
+            raise ValueError("weight_mod must be positive")
+        self._capacity = capacity
+        self._mod = weight_mod
+        self._seen = 0
+        #: stale acceptance threshold: the sample's max key as of the
+        #: last refresh (+inf before the initial sample exists)
+        self._threshold = math.inf
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    @property
+    def weight_mod(self) -> int:
+        return self._mod
+
+    def params(self) -> dict:
+        return {"weight_mod": self._mod}
+
+    def spec(self) -> str:
+        if self._mod == DEFAULT_WEIGHT_MOD:
+            return "weighted"
+        return f"weighted:{self._mod}"
+
+    def codec(self, record_size: int) -> RecordCodec:
+        return WeightedRecordCodec(record_size)
+
+    def value_of(self, row) -> int:
+        return row[0]
+
+    def population(self) -> int:
+        return self._seen
+
+    def effective_staleness(self, pending: int) -> int:
+        return pending
+
+    def weight(self, value: int) -> int:
+        return 1 + (value % self._mod)
+
+    def draw(self, element: int, rng: RandomSource):
+        """One record, one uniform: ``(value, -ln(1-u)/w)``."""
+        u = rng.random()
+        self._seen += 1
+        return (element, -math.log(1.0 - u) / self.weight(element))
+
+    def accept(self, record) -> bool:
+        """Insert-time test against the *stale* threshold.
+
+        Thresholds only shrink, so everything the eager rule would ever
+        accept passes this test -- the log is a superset, re-filtered at
+        refresh by the replay.
+        """
+        return record[1] < self._threshold
+
+    def replay_start(self, total: int) -> int:
+        return 0
+
+    def begin_replay(self, rows: list) -> _WeightedReplay:
+        return _WeightedReplay(rows)
+
+    def commit_replay(self, replay: _WeightedReplay) -> None:
+        self._threshold = replay.max_key
+
+    def build_initial(self, dataset: Sequence[int], rng: RandomSource) -> list:
+        """Eager A-ES over the initial dataset; returns the sample rows."""
+        if len(dataset) < self._capacity:
+            raise ValueError(
+                f"initial dataset ({len(dataset)}) smaller than the "
+                f"sample ({self._capacity})"
+            )
+        rows = [self.draw(value, rng) for value in dataset[: self._capacity]]
+        replay = self.begin_replay(rows)
+        for value in dataset[self._capacity :]:
+            replay.step(self.draw(value, rng))
+        self.commit_replay(replay)
+        return rows
+
+    def checkpoint_fields(self) -> tuple[int, float]:
+        return self._mod, self._threshold
+
+    def restore_state(self, checkpoint) -> None:
+        if checkpoint.kind_param != self._mod:
+            raise ValueError(
+                f"checkpoint weight_mod {checkpoint.kind_param} != {self._mod}"
+            )
+        self._seen = checkpoint.dataset_size
+        self._threshold = checkpoint.kind_threshold
+
+    def plausible(self, rows: Sequence, seen: int) -> bool:
+        if any(len(row) != 2 for row in rows):
+            return False
+        keys = [row[1] for row in rows]
+        if any(key < 0 or not math.isfinite(key) for key in keys):
+            return False
+        # The stale threshold can only over-admit, never under-admit:
+        # every live key must sit at or below it.
+        return not math.isfinite(self._threshold) or max(keys) <= self._threshold
+
+
+# ---------------------------------------------------------------------------
+# Sliding window (last W rows; deterministic)
+# ---------------------------------------------------------------------------
+
+
+class _WindowReplay:
+    """Apply window records to their fixed slots, newest sequence wins."""
+
+    __slots__ = ("_rows", "_capacity")
+
+    def __init__(self, rows: list, capacity: int) -> None:
+        self._rows = rows
+        self._capacity = capacity
+
+    def step(self, record) -> int | None:
+        slot = record[1] % self._capacity
+        current = self._rows[slot]
+        if current is None or current[1] < record[1]:
+            self._rows[slot] = record
+            return slot
+        return None
+
+
+class WindowKind:
+    """The last ``W`` rows of the stream (``W`` = the sample capacity).
+
+    Fully deterministic: a row with arrival sequence ``s`` lives in slot
+    ``s mod W`` until the row with sequence ``s + W`` arrives.  Every
+    arriving row is accepted and logged; *expiry is deferred* to refresh
+    time, where only the last ``min(pending, W)`` logged rows are read
+    back (:meth:`replay_start` skips the expired prefix without touching
+    it).  Staleness in rows is therefore naturally capped at ``W`` --
+    :meth:`effective_staleness` reports that cap, which is what makes
+    ``bounded_staleness:k`` (and the ``bounded_expiry`` fraction form)
+    well-defined for window samples.
+    """
+
+    name = "window"
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("sample capacity must be positive")
+        self._capacity = capacity
+        self._seen = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    def params(self) -> dict:
+        return {"window": self._capacity}
+
+    def spec(self) -> str:
+        return "window"
+
+    def codec(self, record_size: int) -> RecordCodec:
+        return TimestampedRecordCodec(record_size)
+
+    def value_of(self, row) -> int:
+        return row[0]
+
+    def population(self) -> int:
+        return min(self._seen, self._capacity)
+
+    def effective_staleness(self, pending: int) -> int:
+        """Rows of the live window not yet applied from the log."""
+        return min(pending, self._capacity)
+
+    def expired_fraction(self, pending: int) -> float:
+        """The window fraction the pending log has already expired."""
+        return self.effective_staleness(pending) / self._capacity
+
+    def draw(self, element: int, rng: RandomSource):
+        record = (element, self._seen)
+        self._seen += 1
+        return record
+
+    def accept(self, record) -> bool:
+        return True
+
+    def replay_start(self, total: int) -> int:
+        """Logged rows older than the window are expired unread."""
+        return max(0, total - self._capacity)
+
+    def begin_replay(self, rows: list) -> _WindowReplay:
+        return _WindowReplay(rows, self._capacity)
+
+    def commit_replay(self, replay: _WindowReplay) -> None:
+        return None
+
+    def build_initial(self, dataset: Sequence[int], rng: RandomSource) -> list:
+        if len(dataset) < self._capacity:
+            raise ValueError(
+                f"initial dataset ({len(dataset)}) smaller than the "
+                f"window ({self._capacity})"
+            )
+        rows: list = [None] * self._capacity
+        replay = self.begin_replay(rows)
+        for value in dataset:
+            replay.step(self.draw(value, rng))
+        return rows
+
+    def checkpoint_fields(self) -> tuple[int, float]:
+        return self._capacity, 0.0
+
+    def restore_state(self, checkpoint) -> None:
+        if checkpoint.kind_param != self._capacity:
+            raise ValueError(
+                f"checkpoint window {checkpoint.kind_param} != {self._capacity}"
+            )
+        self._seen = checkpoint.dataset_size
+
+    def plausible(self, rows: Sequence, seen: int) -> bool:
+        if any(row is None or len(row) != 2 for row in rows):
+            return False
+        for slot, (_, seq) in enumerate(rows):
+            if seq % self._capacity != slot or not 0 <= seq < seen:
+                return False
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Kind-aware candidate logging (the log phase for non-uniform kinds)
+# ---------------------------------------------------------------------------
+
+
+class KindCandidateLogger:
+    """Candidate logging driven by a :class:`SampleKind`.
+
+    Interface-compatible with :class:`~repro.core.logs.CandidateLogger`
+    (the uniform log phase), so :class:`~repro.core.maintenance.SampleMaintainer`
+    drives either without branching.  The kind runs the acceptance test
+    against its stale state and produces the full log record (value plus
+    kind payload); acceptance draws happen element-wise -- exactly one
+    per record for weighted, none for window -- so the batched path is
+    draw-for-draw identical to scalar inserts, like the biased logger in
+    :mod:`repro.core.acceptance`.
+    """
+
+    def __init__(self, log: LogFile, kind: SampleKind, rng: RandomSource) -> None:
+        if kind.seen < kind.capacity:
+            raise ValueError(
+                "kind candidate logging requires an existing full sample: "
+                f"seen {kind.seen} < capacity {kind.capacity}"
+            )
+        self._log = log
+        self._kind = kind
+        self._rng = rng
+
+    @property
+    def log(self) -> LogFile:
+        return self._log
+
+    @property
+    def kind(self) -> SampleKind:
+        return self._kind
+
+    @property
+    def dataset_size(self) -> int:
+        return self._kind.seen
+
+    @property
+    def sample_size(self) -> int:
+        return self._kind.capacity
+
+    @property
+    def pending_accept(self) -> None:
+        """Kind acceptance draws are eager; nothing pends between records."""
+        return None
+
+    def insert(self, element) -> bool:
+        """Log phase for one insertion; True if it became a candidate."""
+        record = self._kind.draw(element, self._rng)
+        if self._kind.accept(record):
+            self._log.append(record)
+            return True
+        return False
+
+    def insert_many(
+        self, elements: Sequence, max_accepts: int | None = None
+    ) -> tuple[int, int]:
+        """Batched log phase: element-wise draws, one bulk append.
+
+        Returns ``(consumed, accepted)`` with the same stop-after-the-
+        accepting-element quota semantics as the uniform logger, so
+        refresh policies fire at identical points under either path.
+        """
+        kind = self._kind
+        rng = self._rng
+        records: list = []
+        consumed = 0
+        for element in elements:
+            consumed += 1
+            record = kind.draw(element, rng)
+            if kind.accept(record):
+                records.append(record)
+                if max_accepts is not None and len(records) >= max_accepts:
+                    break
+        if records:
+            self._log.append_many(records)
+        return consumed, len(records)
+
+    def source(self) -> CandidateLogSource:
+        """The candidate source for the coming refresh."""
+        return CandidateLogSource(self._log)
+
+    def after_refresh(self) -> None:
+        """Reset the log for reuse (the refresh consumed it)."""
+        self._log.truncate()
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+def parse_kind_spec(spec: str) -> tuple[str, int | None]:
+    """Split ``"name"`` / ``"name:param"`` into ``(name, param)``."""
+    name, _, arg = spec.partition(":")
+    name = name.strip()
+    if name not in KINDS and name not in COMPOSITE_KINDS:
+        known = KINDS + COMPOSITE_KINDS
+        raise ValueError(f"unknown sample kind {name!r} (known: {known})")
+    if not arg:
+        return name, None
+    if name != "weighted":
+        raise ValueError(f"kind {name!r} takes no parameter, got {arg!r}")
+    return name, int(arg)
+
+
+def make_kind(spec: str, capacity: int) -> SampleKind:
+    """Build the kind a spec string names, bound to one sample's capacity.
+
+    Specs: ``"uniform"``, ``"weighted"``, ``"weighted:MOD"`` (weight
+    modulus), ``"window"``.  Composite kinds are registered but cannot
+    be built here -- see :func:`make_composite`.
+    """
+    name, param = parse_kind_spec(spec)
+    if name in COMPOSITE_KINDS:
+        raise ValueError(
+            f"kind {name!r} is composite (one sample file cannot hold it); "
+            "build it with repro.core.kinds.make_composite()"
+        )
+    if name == "uniform":
+        return UniformKind(capacity)
+    if name == "weighted":
+        if param is not None:
+            return WeightedKind(capacity, weight_mod=param)
+        return WeightedKind(capacity)
+    return WindowKind(capacity)
+
+
+def make_composite(name: str, **kwargs) -> "StratifiedSampleManager":
+    """Build a registered composite kind (currently ``stratified``).
+
+    A stratified sample is one bounded uniform reservoir *per group*,
+    each under its own deferred maintenance -- see
+    :class:`repro.core.stratified.StratifiedSampleManager`, whose
+    constructor arguments are forwarded verbatim.
+    """
+    if name not in COMPOSITE_KINDS:
+        raise ValueError(
+            f"unknown composite kind {name!r} (known: {COMPOSITE_KINDS})"
+        )
+    from repro.core.stratified import StratifiedSampleManager
+
+    return StratifiedSampleManager(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# The immediate-maintenance oracle (property-test reference)
+# ---------------------------------------------------------------------------
+
+
+def eager_oracle(
+    kind: SampleKind, dataset: Sequence[int], elements: Sequence[int], rng: RandomSource
+) -> list:
+    """Immediate maintenance in memory: apply each arrival on the spot.
+
+    This is the reference the deferred path is proven against: same
+    initial build, then one :meth:`SampleKind.draw` plus one eager replay
+    step per arriving element.  Because kinds draw element-wise, the
+    PRNG stream here is identical to the deferred path's, and the
+    bit-identity property (``tests/properties/test_prop_kinds.py``)
+    checks rows *and* PRNG state after the deferred run's final refresh.
+    """
+    rows = kind.build_initial(dataset, rng)
+    replay = kind.begin_replay(rows)
+    for element in elements:
+        replay.step(kind.draw(element, rng))
+    kind.commit_replay(replay)
+    return rows

@@ -109,6 +109,11 @@ class CandidateLogger:
     def sample_size(self) -> int:
         return self._sampler.capacity
 
+    @property
+    def pending_accept(self) -> int | None:
+        """The sampler's undrawn skip decision (checkpointed verbatim)."""
+        return self._sampler.pending_accept
+
     def insert(self, element: T) -> bool:
         """Log phase for one insertion; True if it became a candidate."""
         if self._sampler.test(element):

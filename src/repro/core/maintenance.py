@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.kinds import KindCandidateLogger, SampleKind
 from repro.core.logs import CandidateLogger, FullLogger
 from repro.core.refresh.base import RefreshAlgorithm, RefreshResult
 from repro.core.refresh.naive import NaiveFullRefresh
@@ -97,6 +98,7 @@ class SampleMaintainer:
         skip_method: str = "auto",
         instrumentation: Instrumentation | None = None,
         commit_group: GroupCommitBarrier | None = None,
+        kind: SampleKind | None = None,
     ) -> None:
         if strategy not in _STRATEGIES:
             raise ValueError(f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
@@ -110,6 +112,31 @@ class SampleMaintainer:
                 raise ValueError(f"strategy {strategy!r} requires a log file")
             if algorithm is None:
                 raise ValueError(f"strategy {strategy!r} requires a refresh algorithm")
+        if kind is not None and kind.name == "uniform":
+            # Uniform is the pre-kind path; dropping the marker here keeps
+            # that path literally unchanged (and byte-identical).
+            kind = None
+        if kind is not None:
+            if strategy != "candidate":
+                raise ValueError(
+                    f"kind {kind.name!r} supports only candidate logging, "
+                    f"got strategy {strategy!r}"
+                )
+            if kind.seen != initial_dataset_size:
+                raise ValueError(
+                    f"kind has seen {kind.seen} elements but "
+                    f"initial_dataset_size is {initial_dataset_size}"
+                )
+            # Propagate the kind to a kind-capable refresh algorithm, the
+            # same way instrumentation propagates below.
+            if not hasattr(algorithm, "kind"):
+                raise ValueError(
+                    f"refresh algorithm {getattr(algorithm, 'name', algorithm)!r} "
+                    f"cannot drive kind {kind.name!r} (no kind support)"
+                )
+            if algorithm.kind is None:
+                algorithm.kind = kind
+        self._kind = kind
         self._sample = sample
         self._rng = rng
         self._strategy = strategy
@@ -139,9 +166,13 @@ class SampleMaintainer:
             self._full_logger = None
         elif strategy == "candidate":
             self._reservoir = None
-            self._candidate_logger = CandidateLogger(
-                log, sample.size, rng, initial_dataset_size, skip_method=skip_method
-            )
+            if kind is not None:
+                self._candidate_logger = KindCandidateLogger(log, kind, rng)
+            else:
+                self._candidate_logger = CandidateLogger(
+                    log, sample.size, rng, initial_dataset_size,
+                    skip_method=skip_method,
+                )
             self._full_logger = None
         else:  # full
             self._reservoir = None
@@ -187,6 +218,11 @@ class SampleMaintainer:
     @property
     def strategy(self) -> str:
         return self._strategy
+
+    @property
+    def kind(self) -> SampleKind | None:
+        """The non-uniform sample kind driving maintenance, if any."""
+        return self._kind
 
     @property
     def dataset_size(self) -> int:
@@ -433,7 +469,7 @@ class SampleMaintainer:
                 self._candidate_logger.log.flush()
                 log_count = len(self._candidate_logger.log)
                 dataset_at_refresh = self._candidate_logger.dataset_size
-                pending = self._candidate_logger._sampler.pending_accept
+                pending = self._candidate_logger.pending_accept
             elif self._full_logger is not None:
                 self._full_logger.log.flush()
                 log_count = len(self._full_logger.log)
@@ -450,6 +486,11 @@ class SampleMaintainer:
             if span is not None:
                 span.set("log_count", log_count)
         seed, spawn_count, state, w = MaintenanceCheckpoint.capture_rng(self._rng)
+        if self._kind is not None:
+            kind_name = self._kind.name
+            kind_param, kind_threshold = self._kind.checkpoint_fields()
+        else:
+            kind_name, kind_param, kind_threshold = "uniform", 0, 0.0
         return MaintenanceCheckpoint(
             strategy=self._strategy,
             sample_size=self._sample.size,
@@ -464,6 +505,9 @@ class SampleMaintainer:
             rng_spawn_count=spawn_count,
             rng_state=state,
             rng_w=w,
+            kind_name=kind_name,
+            kind_param=kind_param,
+            kind_threshold=kind_threshold,
         )
 
     @classmethod
@@ -478,6 +522,7 @@ class SampleMaintainer:
         skip_method: str = "auto",
         instrumentation: Instrumentation | None = None,
         commit_group: GroupCommitBarrier | None = None,
+        kind: SampleKind | None = None,
     ) -> "SampleMaintainer":
         """Resume maintenance from a checkpoint: bit-exact continuation.
 
@@ -486,13 +531,25 @@ class SampleMaintainer:
         its on-disk contents are re-attached via
         :meth:`~repro.storage.files.LogFile.reopen`.  The restored PRNG
         state makes every subsequent acceptance decision identical to an
-        uninterrupted run.
+        uninterrupted run.  Checkpoints of non-uniform samples require
+        the matching ``kind`` instance, whose stale state (dataset size,
+        acceptance threshold) is restored from the manifest fields.
         """
         if checkpoint.sample_size != sample.size:
             raise ValueError(
                 f"checkpoint is for sample size {checkpoint.sample_size}, "
                 f"got a sample of size {sample.size}"
             )
+        kind_name = getattr(kind, "name", "uniform") if kind is not None else "uniform"
+        if checkpoint.kind_name != kind_name:
+            raise ValueError(
+                f"checkpoint is for kind {checkpoint.kind_name!r}, "
+                f"got kind {kind_name!r}"
+            )
+        if kind is not None and kind.name != "uniform":
+            # Restore the kind's stale state first: the constructor's
+            # kind validation reads it.
+            kind.restore_state(checkpoint)
         rng = checkpoint.restore_rng()
         if checkpoint.strategy != "immediate":
             if log is None:
@@ -512,11 +569,14 @@ class SampleMaintainer:
             skip_method=skip_method,
             instrumentation=instrumentation,
             commit_group=commit_group,
+            kind=kind,
         )
         # Restore the counters the constructor cannot know.
         if maintainer._reservoir is not None:
             maintainer._reservoir._seen = checkpoint.dataset_size
             maintainer._reservoir.pending_accept = checkpoint.pending_accept
+        elif isinstance(maintainer._candidate_logger, KindCandidateLogger):
+            pass  # the kind's restore_state above carried everything
         elif maintainer._candidate_logger is not None:
             sampler = maintainer._candidate_logger._sampler
             sampler._seen = checkpoint.dataset_size

@@ -43,8 +43,17 @@ class ArrayRefresh:
     #: an instrumented :class:`~repro.core.maintenance.SampleMaintainer`.
     instrumentation = None
 
-    def __init__(self, sort: bool = True) -> None:
+    #: Optional non-uniform :class:`~repro.core.kinds.SampleKind`; wired
+    #: automatically by a kind-aware SampleMaintainer.  When set, the
+    #: refresh replays the kind's content-dependent victim rule and keeps
+    #: Algorithm 1's write discipline: only the *final* record of each
+    #: displaced slot is written, sequentially, in slot order.
+    kind = None
+
+    def __init__(self, sort: bool = True, kind=None) -> None:
         self._sort = sort
+        if kind is not None:
+            self.kind = kind
 
     @property
     def name(self) -> str:
@@ -56,6 +65,8 @@ class ArrayRefresh:
         source: CandidateSource,
         rng: RandomSource,
     ) -> RefreshResult:
+        if self.kind is not None:
+            return self._refresh_kind(sample, source, rng)
         obs = self.instrumentation
         total = source.count()
         size = sample.size
@@ -128,6 +139,51 @@ class ArrayRefresh:
         displaced = sum(1 for value in array if value is not None)
         sample.write_sequential(displaced_items())
         return RefreshResult(candidates=total, displaced=displaced, memory=memory)
+
+    def _refresh_kind(
+        self,
+        sample: SampleFile,
+        source: CandidateSource,
+        rng: RandomSource,
+    ) -> RefreshResult:
+        """Algorithm 1's write discipline generalised to a non-uniform kind.
+
+        The uniform precomputation throws candidate *indexes* at RNG-drawn
+        slots; a kind's victims depend on sample *contents*, so the merge
+        phase here is: scan the current rows once (sequential reads), run
+        the kind's replay over the unexpired log tail (sequential reads),
+        then write only the final record of each displaced slot -- one
+        sequential ascending pass, exactly ``Psi <= min(M, |C|)`` writes.
+        The replay consumes no randomness, so naive and array refreshes
+        leave identical sample bytes *and* identical PRNG state.
+        """
+        kind = self.kind
+        obs = self.instrumentation
+        total = source.count()
+        size = sample.size
+        memory = MemoryReport()
+        memory.account_indexes(size)  # the replay's per-slot key/seq state
+        if total == 0:
+            return RefreshResult(candidates=0, displaced=0, memory=memory)
+        start = kind.replay_start(total)
+        with maybe_span(
+            obs, "refresh.write", algorithm=self.name, candidates=total
+        ) as span:
+            rows = list(sample.scan())
+            replay = kind.begin_replay(rows)
+            reader = source.open_reader()
+            touched: set[int] = set()
+            for ordinal in range(start + 1, total + 1):
+                slot = replay.step(reader.read(ordinal))
+                if slot is not None:
+                    touched.add(slot)
+            kind.commit_replay(replay)
+            sample.write_sequential(
+                (slot, rows[slot]) for slot in sorted(touched)
+            )
+            if span is not None:
+                span.set("displaced", len(touched))
+        return RefreshResult(candidates=total, displaced=len(touched), memory=memory)
 
     def _write_unsorted(
         self,

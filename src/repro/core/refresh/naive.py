@@ -33,12 +33,24 @@ class NaiveCandidateRefresh:
     #: an instrumented :class:`~repro.core.maintenance.SampleMaintainer`.
     instrumentation = None
 
+    #: Optional non-uniform :class:`~repro.core.kinds.SampleKind`; wired
+    #: automatically by a kind-aware SampleMaintainer.  When set, victim
+    #: slots come from the kind's replay (content-dependent, no RNG)
+    #: instead of uniform ``randrange`` draws.
+    kind = None
+
+    def __init__(self, kind=None) -> None:
+        if kind is not None:
+            self.kind = kind
+
     def refresh(
         self,
         sample: SampleFile,
         source: CandidateSource,
         rng: RandomSource,
     ) -> RefreshResult:
+        if self.kind is not None:
+            return self._refresh_kind(sample, source, rng)
         total = source.count()
         if total == 0:
             return RefreshResult(candidates=0, displaced=0)
@@ -59,6 +71,54 @@ class NaiveCandidateRefresh:
                 # Alg. 1-3 sequential-only claim.
                 sample.write_random(slot, element)  # repro-lint: disable=IO001
                 touched.add(slot)
+            if span is not None:
+                span.set("displaced", len(touched))
+        return RefreshResult(
+            candidates=total,
+            displaced=len(touched),
+            memory=MemoryReport(),
+        )
+
+    def _refresh_kind(
+        self,
+        sample: SampleFile,
+        source: CandidateSource,
+        rng: RandomSource,
+    ) -> RefreshResult:
+        """Naive replay for a non-uniform kind: write every displacement.
+
+        The kind's victim choice is content-dependent, so (unlike the
+        uniform strawman) the current rows must be read back first -- one
+        sequential sample scan -- before the log replay.  Each replay
+        step that displaces a slot is written immediately, non-final
+        writes included: that is the naive baseline's signature cost.
+        The replay itself consumes no randomness, so the PRNG stream is
+        untouched by refresh for every non-uniform kind.
+        """
+        kind = self.kind
+        total = source.count()
+        if total == 0:
+            return RefreshResult(candidates=0, displaced=0)
+        start = kind.replay_start(total)
+        with maybe_span(
+            self.instrumentation,
+            "refresh.write",
+            algorithm=self.name,
+            candidates=total,
+        ) as span:
+            rows = list(sample.scan())
+            replay = kind.begin_replay(rows)
+            reader = source.open_reader()
+            touched: set[int] = set()
+            for ordinal in range(start + 1, total + 1):
+                record = reader.read(ordinal)
+                slot = replay.step(record)
+                if slot is not None:
+                    # Naive pays the random write per displacement, same
+                    # as the uniform strawman above.
+                    sample.write_random(slot, record)  # repro-lint: disable=IO001
+                    touched.add(slot)
+            kind.commit_replay(replay)
             if span is not None:
                 span.set("displaced", len(touched))
         return RefreshResult(

@@ -339,7 +339,22 @@ def merge_into_sample(sample: list[T], slot: int, element: T) -> None:
         raise IndexError(f"slot {slot} invalid for sample of size {len(sample)}")
 
 
-def sample_is_plausible(sample: Sequence[T], capacity: int, seen: int) -> bool:
-    """Cheap structural invariant used by tests: correct size bookkeeping."""
+def sample_is_plausible(
+    sample: Sequence[T], capacity: int, seen: int, kind=None
+) -> bool:
+    """Cheap structural invariant used by tests: correct size bookkeeping.
+
+    For a uniform reservoir (``kind=None``) the sample must hold exactly
+    ``min(capacity, seen)`` rows.  Passing a :class:`~repro.core.kinds.SampleKind`
+    additionally checks that kind's per-row invariants (weighted: finite
+    non-negative keys at or below the stale threshold; window: each row's
+    sequence maps to its slot and is below ``seen``).
+    """
+    if seen < 0 or capacity <= 0:
+        return False
     expected = min(capacity, seen)
-    return len(sample) == expected
+    if len(sample) != expected:
+        return False
+    if kind is None:
+        return True
+    return kind.plausible(sample, seen)

@@ -45,7 +45,7 @@ __all__ = [
 
 DEFAULT_BASELINE = Path("benchmarks") / "BENCH_core_ops.json"
 DEFAULT_THRESHOLD = 0.25
-DEFAULT_SELECT = "batch|pool|lint|trace|repl|fleet|event_loop"
+DEFAULT_SELECT = "batch|pool|lint|trace|repl|fleet|event_loop|kinds|weighted"
 
 
 @dataclass(frozen=True)

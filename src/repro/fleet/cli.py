@@ -100,6 +100,13 @@ def add_fleet_sim_parser(sub) -> argparse.ArgumentParser:
         help="deferred refresh algorithm for every sample (full engine)",
     )
     parser.add_argument(
+        "--kinds",
+        default="",
+        help="comma-separated sample-kind specs (uniform, weighted[:MOD], "
+        "window), round-robin over the global sample index (full engine; "
+        "needs --algorithm naive or array)",
+    )
+    parser.add_argument(
         "--policy",
         default="longest-log:64",
         help="per-shard refresh scheduling policy (full engine)",
@@ -173,6 +180,9 @@ def run_fleet_sim_command(args: argparse.Namespace) -> int:
             ingest_fraction=args.ingest_fraction,
             staleness_bound=args.staleness_bound,
             pool_capacity=args.pool_capacity,
+            kinds=tuple(
+                spec.strip() for spec in args.kinds.split(",") if spec.strip()
+            ),
         )
     except ValueError as exc:
         print(f"fleet-sim: {exc}", file=sys.stderr)

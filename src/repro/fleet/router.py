@@ -144,12 +144,15 @@ class FleetRouter:
 
     # -- construction ------------------------------------------------------
 
-    def _build_shard_catalog(self, owned: list[tuple[str, int]]) -> SampleCatalog:
+    def _build_shard_catalog(
+        self, owned: list[tuple[str, int, str]]
+    ) -> SampleCatalog:
         """One shard's catalog: its own cost model, samples in global order.
 
-        ``owned`` carries (name, seed) pairs whose seeds were drawn from
-        the *global* root in global name order, so a sample's content
-        never depends on which shard it landed on.
+        ``owned`` carries (name, seed, kind) triples whose seeds were
+        drawn from the *global* root in global name order, and whose
+        kinds follow the global sample index -- so a sample's content
+        and scheme never depend on which shard it landed on.
         """
         config = self._config
         replication = None
@@ -162,13 +165,14 @@ class FleetRouter:
             pool_readahead=config.pool_readahead,
             replication=replication,
         )
-        for name, seed in owned:
+        for name, seed, kind in owned:
             catalog.create(
                 name,
                 sample_size=config.sample_size,
                 initial_dataset_size=config.initial_dataset_size,
                 algorithm=config.algorithm,
                 seed=seed,
+                kind=kind,
             )
         return catalog
 
@@ -212,12 +216,18 @@ class FleetRouter:
 
         # Per-sample seeds from one global root, spawned in global name
         # order -- byte-identical to serve's build_catalog, and placement-
-        # independent (moving a sample never changes its content).
+        # independent (moving a sample never changes its content).  Kinds
+        # follow the global sample index for the same reason.
         root = RandomSource(config.seed)
-        sample_seeds = [(name, root.spawn(name).seed) for name in sample_names]
-        owned: dict[str, list[tuple[str, int]]] = {name: [] for name in shard_names}
-        for name, seed in sample_seeds:
-            owned[placement[name]].append((name, seed))
+        sample_seeds = [
+            (name, root.spawn(name).seed, config.kind_for(index))
+            for index, name in enumerate(sample_names)
+        ]
+        owned: dict[str, list[tuple[str, int, str]]] = {
+            name: [] for name in shard_names
+        }
+        for name, seed, kind in sample_seeds:
+            owned[placement[name]].append((name, seed, kind))
 
         catalogs = {
             shard: self._build_shard_catalog(owned[shard])

@@ -80,6 +80,10 @@ class FleetConfig:
     timeseries_interval: float = 0.0
     replica: bool = False
     replica_lag_budget: float = 0.0
+    #: per-sample kind specs, round-robin over the *global* sample index
+    #: (placement-independent, so a sample keeps its kind wherever the
+    #: ring puts it); () = all uniform.  Kinds require the full engine.
+    kinds: tuple[str, ...] = ()
 
     # -- fleet-only knobs --------------------------------------------------
     #: shard count; shard names are "shard00", "shard01", ...
@@ -120,6 +124,12 @@ class FleetConfig:
             raise ValueError("hedge_multiplier must be non-negative")
         if self.engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.kinds and any(k.partition(":")[0] != "uniform" for k in self.kinds):
+            if self.engine == "model":
+                raise ValueError(
+                    "non-uniform sample kinds require the full engine "
+                    "(the vectorised model only models uniform reservoirs)"
+                )
 
     def sample_names(self) -> list[str]:
         # Identical format to SimConfig.sample_names -- shared names are
@@ -160,11 +170,25 @@ class FleetConfig:
             timeseries_interval=self.timeseries_interval,
             replica=self.replica,
             replica_lag_budget=self.replica_lag_budget,
+            kinds=self.kinds,
         )
+
+    def kind_for(self, index: int) -> str:
+        """The kind spec of the index-th sample (global round-robin)."""
+        if not self.kinds:
+            return "uniform"
+        return self.kinds[index % len(self.kinds)]
+
+    def has_non_uniform_kinds(self) -> bool:
+        return any(k.partition(":")[0] != "uniform" for k in self.kinds)
 
     def resolve_engine(self) -> str:
         if self.engine != "auto":
             return self.engine
+        if self.has_non_uniform_kinds():
+            # The model engine has no kind semantics; kinds pin "auto"
+            # to the full engine regardless of scale.
+            return "full"
         if (
             self.events + self.fanout_queries <= AUTO_FULL_MAX_EVENTS
             and self.samples <= AUTO_FULL_MAX_SAMPLES
@@ -211,7 +235,7 @@ class FleetReport:
 
 
 def _config_echo(config: FleetConfig, engine: str) -> dict:
-    return {
+    echo = {
         "seed": config.seed,
         "shards": config.shards,
         "samples": config.samples,
@@ -224,6 +248,11 @@ def _config_echo(config: FleetConfig, engine: str) -> dict:
         "hedge_multiplier": config.hedge_multiplier,
         "engine": engine,
     }
+    if config.kinds:
+        # Only echoed when configured, so kind-less reports keep their
+        # pre-kind bytes.
+        echo["kinds"] = list(config.kinds)
+    return echo
 
 
 def run_fleet_simulation(

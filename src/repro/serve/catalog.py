@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
+from repro.core.kinds import SampleKind, make_kind, parse_kind_spec
 from repro.core.maintenance import SampleMaintainer
 from repro.core.multi import MultiSampleManager
 from repro.core.policies import ManualPolicy, RefreshPolicy
@@ -43,7 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.api import Instrumentation
     from repro.replication.link import ReplicationLink
 
-__all__ = ["CatalogEntry", "SampleCatalog", "ALGORITHMS"]
+__all__ = ["CatalogEntry", "SampleCatalog", "ALGORITHMS", "KIND_ALGORITHMS"]
 
 #: Refresh-algorithm factories the catalog can instantiate by name.
 ALGORITHMS: dict[str, Callable[[], object]] = {
@@ -52,6 +53,11 @@ ALGORITHMS: dict[str, Callable[[], object]] = {
     "nomem": NomemRefresh,
     "naive": NaiveCandidateRefresh,
 }
+
+#: The subset whose refresh can drive a non-uniform sample kind (their
+#: victim choice comes from the kind's replay; Stack/Nomem encode the
+#: uniform victim distribution in their data structures).
+KIND_ALGORITHMS = ("naive", "array")
 
 
 @dataclass
@@ -81,6 +87,11 @@ class CatalogEntry:
     #: run through it flush-only, manifest saves seal -- so, when the
     #: catalog is replicated, every sealed batch is a checkpoint boundary
     commit_group: GroupCommitBarrier | None = None
+    #: canonical sample-kind spec (``"uniform"``, ``"weighted"``,
+    #: ``"weighted:MOD"``, ``"window"``) and, for non-uniform kinds, the
+    #: live kind instance the maintainer and query session share
+    kind: str = "uniform"
+    kind_obj: SampleKind | None = None
 
 
 class SampleCatalog:
@@ -238,6 +249,7 @@ class SampleCatalog:
         policy: RefreshPolicy | None = None,
         record_size: int = 32,
         value_range: int = 1 << 30,
+        kind: str = "uniform",
     ) -> CatalogEntry:
         """Create a sample: build the initial reservoir, persist a manifest.
 
@@ -245,6 +257,13 @@ class SampleCatalog:
         in ``[0, value_range)``) is drawn from the sample's own seeded
         RNG, which then continues as the maintenance RNG -- so the whole
         lifetime of the sample is one deterministic stream.
+
+        ``kind`` selects the sampling scheme (see
+        :mod:`repro.core.kinds`): ``"uniform"`` (the default) takes the
+        pre-kind code path untouched; ``"weighted"``/``"weighted:MOD"``
+        and ``"window"`` build their initial sample with the kind's eager
+        rule over the *same* initial draws and restrict ``algorithm`` to
+        the kind-capable refreshes (``naive``/``array``).
         """
         if name in self._entries:
             raise ValueError(f"sample {name!r} already catalogued")
@@ -259,15 +278,32 @@ class SampleCatalog:
             raise ValueError(
                 f"algorithm must be one of {tuple(ALGORITHMS)}, got {algorithm!r}"
             )
+        kind_name, _ = parse_kind_spec(kind)
+        kind_obj: SampleKind | None = None
+        if kind_name != "uniform":
+            if algorithm not in KIND_ALGORITHMS:
+                raise ValueError(
+                    f"kind {kind!r} requires a kind-capable refresh algorithm "
+                    f"{KIND_ALGORITHMS}, got {algorithm!r}"
+                )
+            kind_obj = make_kind(kind, sample_size)
         rng = RandomSource(seed)
-        codec = IntRecordCodec(record_size)
+        codec: RecordCodec = (
+            kind_obj.codec(record_size)
+            if kind_obj is not None
+            else IntRecordCodec(record_size)
+        )
         sample_device = self._make_device(f"{name}.sample")
         log_device = self._make_device(f"{name}.log")
         meta_device = self._make_device(f"{name}.meta")
         initial = [rng.randrange(value_range) for _ in range(initial_dataset_size)]
-        values, seen = build_reservoir(initial, sample_size, rng)
+        if kind_obj is not None:
+            rows = kind_obj.build_initial(initial, rng)
+            seen = kind_obj.seen
+        else:
+            rows, seen = build_reservoir(initial, sample_size, rng)
         sample = SampleFile(sample_device, codec, sample_size)
-        sample.initialize(values)
+        sample.initialize(rows)
         log = LogFile(log_device, codec)
         refresh_policy = policy if policy is not None else ManualPolicy()
         commit_group = self._make_commit_group(
@@ -284,6 +320,7 @@ class SampleCatalog:
             cost_model=self._cost_model,
             instrumentation=self._instr,
             commit_group=commit_group,
+            kind=kind_obj,
         )
         store = DualSlotCheckpointStore(meta_device, commit_barrier=commit_group)
         entry = CatalogEntry(
@@ -299,6 +336,8 @@ class SampleCatalog:
             log_device=log_device,
             meta_device=meta_device,
             commit_group=commit_group,
+            kind=kind_obj.spec() if kind_obj is not None else "uniform",
+            kind_obj=kind_obj,
         )
         self._manager.add(name, maintainer)
         self._entries[name] = entry
@@ -307,13 +346,23 @@ class SampleCatalog:
         store.save(maintainer.checkpoint_state())
         if self._instr is not None:
             self._g_samples.set(len(self._entries))
-            self._instr.emit(
-                "serve.sample_created",
-                sample=name,
-                algorithm=algorithm,
-                sample_size=sample_size,
-                dataset_size=seen,
-            )
+            if kind_obj is not None:
+                self._instr.emit(
+                    "serve.sample_created",
+                    sample=name,
+                    algorithm=algorithm,
+                    sample_size=sample_size,
+                    dataset_size=seen,
+                    kind=entry.kind,
+                )
+            else:
+                self._instr.emit(
+                    "serve.sample_created",
+                    sample=name,
+                    algorithm=algorithm,
+                    sample_size=sample_size,
+                    dataset_size=seen,
+                )
         return entry
 
     def checkpoint(self, name: str) -> None:
@@ -336,6 +385,12 @@ class SampleCatalog:
         """
         entry = self.entry(name)
         checkpoint = entry.store.load()
+        # A fresh kind instance per reopen: its stale state (dataset size,
+        # acceptance threshold) comes from the manifest, never from the
+        # in-memory object the crashed maintainer was mutating.
+        kind_obj: SampleKind | None = None
+        if entry.kind != "uniform":
+            kind_obj = make_kind(entry.kind, checkpoint.sample_size)
         sample = SampleFile(entry.sample_device, entry.codec, checkpoint.sample_size)
         log = LogFile(entry.log_device, entry.codec)
         maintainer = SampleMaintainer.from_checkpoint(
@@ -347,10 +402,12 @@ class SampleCatalog:
             cost_model=self._cost_model,
             instrumentation=self._instr,
             commit_group=entry.commit_group,
+            kind=kind_obj,
         )
         entry.maintainer = maintainer
         entry.sample = sample
         entry.log = log
+        entry.kind_obj = kind_obj
         self._manager.replace(name, maintainer)
         if self._instr is not None:
             self._instr.emit(
@@ -391,7 +448,6 @@ class SampleCatalog:
             raise ValueError(
                 f"algorithm must be one of {tuple(ALGORITHMS)}, got {algorithm!r}"
             )
-        codec = IntRecordCodec(record_size)
         sample_device = self._make_device(f"{name}.sample")
         log_device = self._make_device(f"{name}.log")
         meta_device = self._make_device(f"{name}.meta")
@@ -406,6 +462,30 @@ class SampleCatalog:
         )
         store = DualSlotCheckpointStore(meta_device, commit_barrier=commit_group)
         checkpoint = store.load()
+        # The manifest is the source of truth for the sample's kind: the
+        # adopted images may come from a catalog whose configuration is
+        # long gone, so kind name and parameters are read back from the
+        # checkpoint, not passed in.
+        kind_obj: SampleKind | None = None
+        kind_spec = "uniform"
+        if checkpoint.kind_name != "uniform":
+            if checkpoint.kind_name == "weighted":
+                kind_spec = f"{checkpoint.kind_name}:{checkpoint.kind_param}"
+            else:
+                kind_spec = checkpoint.kind_name
+            kind_obj = make_kind(kind_spec, checkpoint.sample_size)
+            kind_spec = kind_obj.spec()
+            if algorithm not in KIND_ALGORITHMS:
+                raise ValueError(
+                    f"adopted sample has kind {kind_spec!r}, which requires a "
+                    f"kind-capable refresh algorithm {KIND_ALGORITHMS}, "
+                    f"got {algorithm!r}"
+                )
+        codec: RecordCodec = (
+            kind_obj.codec(record_size)
+            if kind_obj is not None
+            else IntRecordCodec(record_size)
+        )
         sample = SampleFile(sample_device, codec, checkpoint.sample_size)
         log = LogFile(log_device, codec)
         refresh_policy = policy if policy is not None else ManualPolicy()
@@ -418,6 +498,7 @@ class SampleCatalog:
             cost_model=self._cost_model,
             instrumentation=self._instr,
             commit_group=commit_group,
+            kind=kind_obj,
         )
         entry = CatalogEntry(
             name=name,
@@ -432,6 +513,8 @@ class SampleCatalog:
             log_device=log_device,
             meta_device=meta_device,
             commit_group=commit_group,
+            kind=kind_spec,
+            kind_obj=kind_obj,
         )
         self._manager.add(name, maintainer)
         self._entries[name] = entry

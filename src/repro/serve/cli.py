@@ -37,6 +37,13 @@ def add_serve_sim_parser(sub) -> argparse.ArgumentParser:
         help="deferred refresh algorithm for every sample",
     )
     parser.add_argument(
+        "--kinds",
+        default="",
+        help="comma-separated sample-kind specs (uniform, weighted[:MOD], "
+        "window), assigned round-robin over samples; empty = all uniform. "
+        "Non-uniform kinds need --algorithm naive or array",
+    )
+    parser.add_argument(
         "--policy",
         default="longest-log:64",
         help=(
@@ -181,6 +188,9 @@ def run_serve_sim_command(args: argparse.Namespace) -> int:
         timeseries_interval=args.ts_interval,
         replica=args.replica,
         replica_lag_budget=args.replica_lag,
+        kinds=tuple(
+            spec.strip() for spec in args.kinds.split(",") if spec.strip()
+        ),
     )
     instrumentation = Instrumentation(cost_model=CostModel())
     report = run_simulation(config, instrumentation=instrumentation)

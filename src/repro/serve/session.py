@@ -34,7 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["Freshness", "ServedAnswer", "QuerySession"]
 
-_MODES = ("serve_stale", "bounded_staleness", "refresh_on_read")
+_MODES = ("serve_stale", "bounded_staleness", "refresh_on_read", "bounded_expiry")
 
 #: Aggregates the server accepts.  ``avg`` is deliberately absent: it
 #: requires >= 2 matching sampled rows and so can fail on selective
@@ -52,7 +52,7 @@ class Freshness:
     """
 
     mode: str
-    bound: int | None = None
+    bound: "int | float | None" = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -60,6 +60,9 @@ class Freshness:
         if self.mode == "bounded_staleness":
             if self.bound is None or self.bound < 0:
                 raise ValueError("bounded_staleness needs a bound >= 0")
+        elif self.mode == "bounded_expiry":
+            if self.bound is None or not 0 < self.bound <= 1:
+                raise ValueError("bounded_expiry needs a fraction in (0, 1]")
         elif self.bound is not None:
             raise ValueError(f"mode {self.mode!r} takes no bound")
 
@@ -72,33 +75,69 @@ class Freshness:
         return cls("bounded_staleness", k)
 
     @classmethod
+    def bounded_expiry(cls, fraction: float) -> "Freshness":
+        """Tolerate at most this *fraction* of the sample being stale.
+
+        The row-count form of bounded staleness is awkward for a
+        sliding-window sample, whose effective staleness is naturally
+        capped at the window size ``W``: any fixed ``k >= W`` never
+        forces a refresh.  This mode bounds the stale (expired-but-
+        unapplied) fraction of the sample instead -- ``0.25`` means "at
+        most a quarter of the rows I scan may be out of window".  It is
+        defined for every kind: the fraction is effective staleness over
+        the sample capacity.
+        """
+        return cls("bounded_expiry", fraction)
+
+    @classmethod
     def refresh_on_read(cls) -> "Freshness":
         return cls("refresh_on_read")
 
     @classmethod
     def parse(cls, spec: str) -> "Freshness":
-        """Parse ``serve_stale`` / ``bounded_staleness:K`` / ``refresh_on_read``."""
+        """Parse ``serve_stale`` / ``bounded_staleness:K`` /
+        ``bounded_expiry:F`` / ``refresh_on_read``."""
         mode, _, arg = spec.partition(":")
         if mode == "bounded_staleness":
             if not arg:
                 raise ValueError("bounded_staleness needs a bound, e.g. bounded_staleness:64")
             return cls.bounded(int(arg))
+        if mode == "bounded_expiry":
+            if not arg:
+                raise ValueError("bounded_expiry needs a fraction, e.g. bounded_expiry:0.25")
+            return cls.bounded_expiry(float(arg))
         if arg:
             raise ValueError(f"mode {mode!r} takes no argument")
         return cls(mode)
 
-    def requires_refresh(self, pending_log_elements: int) -> bool:
-        """Must the sample be refreshed before answering at this staleness?"""
+    def requires_refresh(
+        self, pending_log_elements: int, capacity: int | None = None
+    ) -> bool:
+        """Must the sample be refreshed before answering at this staleness?
+
+        ``pending_log_elements`` is the sample's *effective* staleness
+        (already capped by the kind -- see
+        :meth:`repro.core.kinds.WindowKind.effective_staleness`).
+        ``capacity`` (the sample size) is required only by
+        ``bounded_expiry``, which bounds the stale fraction of the
+        sample rather than an absolute row count.
+        """
         if self.mode == "serve_stale":
             return False
         if self.mode == "refresh_on_read":
             return pending_log_elements > 0
+        if self.mode == "bounded_expiry":
+            if capacity is None:
+                raise ValueError("bounded_expiry needs the sample capacity")
+            return pending_log_elements > self.bound * capacity
         return pending_log_elements > self.bound
 
     @property
     def label(self) -> str:
         if self.mode == "bounded_staleness":
             return f"bounded_staleness:{self.bound}"
+        if self.mode == "bounded_expiry":
+            return f"bounded_expiry:{self.bound:g}"
         return self.mode
 
 
@@ -111,7 +150,9 @@ class ServedAnswer:
     estimate: Estimate
     dataset_size: int
     rows_scanned: int
-    #: pending log elements at answer time -- 0 after a forced refresh
+    #: effective staleness at answer time (pending log elements, capped
+    #: by the sample's kind -- e.g. at W for a window) -- 0 after a
+    #: forced refresh
     staleness: int
     #: True when the freshness mode forced a refresh before answering
     refreshed: bool
@@ -174,22 +215,38 @@ class QuerySession:
         threshold: int | None,
     ) -> ServedAnswer:
         maintainer = self._catalog.get(name)
+        kind = maintainer.kind
         pending = maintainer.pending_log_elements
+        # Effective staleness: how many of the rows this query will scan
+        # are out of date.  Uniform (kind None) passes pending through
+        # unchanged; a window sample caps it at W -- log rows beyond the
+        # window displace each other, not additional sample rows.
+        effective = pending if kind is None else kind.effective_staleness(pending)
         refreshed = False
-        if freshness.requires_refresh(pending):
+        if freshness.requires_refresh(effective, capacity=maintainer.sample.size):
             with maybe_span(
                 self._instr, "session.refresh_forced", sample=name, pending=pending
             ):
                 maintainer.refresh()
             refreshed = True
             pending = maintainer.pending_log_elements
+            effective = (
+                pending if kind is None else kind.effective_staleness(pending)
+            )
             if self._instr is not None:
                 self._c_forced.inc()
         with maybe_span(self._instr, "session.scan", sample=name):
             rows = list(maintainer.sample.scan())
-        query: SampleQuery = SampleQuery(
-            rows, maintainer.dataset_size, self._confidence
-        )
+        if kind is not None:
+            # Non-uniform rows carry kind payloads (key, sequence); the
+            # aggregate estimators see the values, scaled to the kind's
+            # represented population (window: the window itself).
+            values = [kind.value_of(row) for row in rows]
+            population = kind.population()
+        else:
+            values = rows
+            population = maintainer.dataset_size
+        query: SampleQuery = SampleQuery(values, population, self._confidence)
         if threshold is not None:
             query = query.where(lambda value: value >= threshold)
         if aggregate == "count":
@@ -202,9 +259,9 @@ class QuerySession:
             sample=name,
             aggregate=aggregate,
             estimate=estimate,
-            dataset_size=maintainer.dataset_size,
+            dataset_size=population,
             rows_scanned=len(rows),
-            staleness=pending,
+            staleness=effective,
             refreshed=refreshed,
             freshness=freshness,
         )

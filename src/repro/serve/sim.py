@@ -84,9 +84,20 @@ class SimConfig:
     #: replication-lag budget in cost seconds: a sealed commit batch may
     #: wait this long in the primary's outbox before it must ship
     replica_lag_budget: float = 0.0
+    #: per-sample kind specs (see :mod:`repro.core.kinds`), assigned
+    #: round-robin over the samples in name order; () = all uniform,
+    #: which keeps the run byte-identical to a kind-less configuration.
+    #: Non-uniform kinds require a kind-capable ``algorithm`` (naive/array).
+    kinds: tuple[str, ...] = ()
 
     def sample_names(self) -> list[str]:
         return [f"s{index:02d}" for index in range(self.samples)]
+
+    def kind_for(self, index: int) -> str:
+        """The kind spec of the index-th sample (round-robin assignment)."""
+        if not self.kinds:
+            return "uniform"
+        return self.kinds[index % len(self.kinds)]
 
     @property
     def run_id(self) -> str:
@@ -118,13 +129,14 @@ def build_catalog(
         replication=replication,
     )
     root = RandomSource(config.seed)
-    for name in config.sample_names():
+    for index, name in enumerate(config.sample_names()):
         catalog.create(
             name,
             sample_size=config.sample_size,
             initial_dataset_size=config.initial_dataset_size,
             algorithm=config.algorithm,
             seed=root.spawn(name).seed,
+            kind=config.kind_for(index),
         )
     return catalog
 

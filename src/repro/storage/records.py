@@ -11,7 +11,13 @@ from __future__ import annotations
 import struct
 from typing import Generic, Protocol, TypeVar
 
-__all__ = ["RecordCodec", "IntRecordCodec", "BytesRecordCodec"]
+__all__ = [
+    "RecordCodec",
+    "IntRecordCodec",
+    "BytesRecordCodec",
+    "WeightedRecordCodec",
+    "TimestampedRecordCodec",
+]
 
 T = TypeVar("T")
 
@@ -91,3 +97,64 @@ class BytesRecordCodec:
         if length > self._max_payload:
             raise ValueError("corrupt record: length prefix exceeds capacity")
         return record[2 : 2 + length]
+
+
+class WeightedRecordCodec:
+    """Stores a weighted-reservoir row: ``(value, key)``.
+
+    The value is a signed 64-bit integer and the key its A-ES exponential
+    key, an IEEE-754 double serialised bit-exactly (``<d``) -- checkpoint
+    and replica round-trips must reproduce acceptance decisions, so the
+    key cannot be truncated or re-derived.
+    """
+
+    def __init__(self, record_size: int = 32) -> None:
+        if record_size < 16:
+            raise ValueError("record_size must hold an 8-byte value + 8-byte key")
+        self._record_size = record_size
+        self._padding = b"\x00" * (record_size - 16)
+
+    @property
+    def record_size(self) -> int:
+        return self._record_size
+
+    def encode(self, value: tuple[int, float]) -> bytes:
+        return struct.pack("<qd", value[0], value[1]) + self._padding
+
+    def decode(self, record: bytes) -> tuple[int, float]:
+        if len(record) != self._record_size:
+            raise ValueError(
+                f"record has {len(record)} bytes, expected {self._record_size}"
+            )
+        element, key = struct.unpack_from("<qd", record)
+        return (element, key)
+
+
+class TimestampedRecordCodec:
+    """Stores a sliding-window row: ``(value, sequence)``.
+
+    The sequence is the row's arrival index in the stream (a signed
+    64-bit integer); the window kind derives both the row's slot and its
+    expiry from it, so it is part of the durable record.
+    """
+
+    def __init__(self, record_size: int = 32) -> None:
+        if record_size < 16:
+            raise ValueError("record_size must hold an 8-byte value + 8-byte sequence")
+        self._record_size = record_size
+        self._padding = b"\x00" * (record_size - 16)
+
+    @property
+    def record_size(self) -> int:
+        return self._record_size
+
+    def encode(self, value: tuple[int, int]) -> bytes:
+        return struct.pack("<qq", value[0], value[1]) + self._padding
+
+    def decode(self, record: bytes) -> tuple[int, int]:
+        if len(record) != self._record_size:
+            raise ValueError(
+                f"record has {len(record)} bytes, expected {self._record_size}"
+            )
+        element, seq = struct.unpack_from("<qq", record)
+        return (element, seq)

@@ -48,14 +48,18 @@ __all__ = [
 ]
 
 _MAGIC = b"RSMP"
-_VERSION = 2
+_VERSION = 3
 _STRATEGIES = ("immediate", "candidate", "full")
+# Must mirror repro.core.kinds.KINDS (append-only; asserted by the kind
+# tests).  Kept as a local tuple so the storage layer stays below core/.
+_KINDS = ("uniform", "weighted", "window")
 
 # magic(4) version(H) strategy(B) flags(B) sample_size(q) dataset_size(q)
 # dataset_at_refresh(q) log_count(q) inserts(q) refreshes(q)
 # pending_accept(q) ops_since_refresh(q) seed(Q) spawn_count(I) w(d)
-# mt_position(i) crc(I) + 624 mt words
-_HEADER = struct.Struct("<4sHBBqqqqqqqqQIdi")
+# mt_position(i) kind(B) kind_param(q) kind_threshold(d)
+# crc(I) + 624 mt words
+_HEADER = struct.Struct("<4sHBBqqqqqqqqQIdiBqd")
 _MT_WORDS = struct.Struct("<624I")
 _CRC = struct.Struct("<I")
 _FLAG_HAS_W = 1
@@ -84,10 +88,20 @@ class MaintenanceCheckpoint:
     rng_spawn_count: int
     rng_state: MTState
     rng_w: float | None
+    #: sample-kind manifest fields (version 3+).  ``kind_name`` is one of
+    #: the registered kinds; ``kind_param`` its integer parameter
+    #: (weighted: weight modulus; window: window size); ``kind_threshold``
+    #: the weighted kind's stale acceptance threshold, serialised
+    #: bit-exactly so reopened samples accept the same candidates.
+    kind_name: str = "uniform"
+    kind_param: int = 0
+    kind_threshold: float = 0.0
 
     def __post_init__(self) -> None:
         if self.strategy not in _STRATEGIES:
             raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.kind_name not in _KINDS:
+            raise ValueError(f"unknown sample kind {self.kind_name!r}")
         for name in (
             "sample_size", "dataset_size", "dataset_size_at_refresh",
             "log_count", "inserts", "refreshes", "rng_spawn_count",
@@ -118,6 +132,9 @@ class MaintenanceCheckpoint:
             self.rng_spawn_count,
             self.rng_w if self.rng_w is not None else 0.0,
             self.rng_state.position,
+            _KINDS.index(self.kind_name),
+            self.kind_param,
+            self.kind_threshold,
         )
         body = header + _MT_WORDS.pack(*self.rng_state.key)
         payload = body + _CRC.pack(zlib.crc32(body))
@@ -141,6 +158,7 @@ class MaintenanceCheckpoint:
             sample_size, dataset_size, dataset_at_refresh, log_count,
             inserts, refreshes, pending_accept, ops_since_refresh,
             seed, spawn_count, w, position,
+            kind_idx, kind_param, kind_threshold,
         ) = _HEADER.unpack_from(body)
         if magic != _MAGIC:
             raise CheckpointError(f"bad superblock magic {magic!r}")
@@ -150,6 +168,8 @@ class MaintenanceCheckpoint:
             )
         if not 0 <= strategy_idx < len(_STRATEGIES):
             raise CheckpointError(f"invalid strategy index {strategy_idx}")
+        if not 0 <= kind_idx < len(_KINDS):
+            raise CheckpointError(f"invalid sample-kind index {kind_idx}")
         key = _MT_WORDS.unpack_from(body, _HEADER.size)
         return cls(
             strategy=_STRATEGIES[strategy_idx],
@@ -165,6 +185,9 @@ class MaintenanceCheckpoint:
             rng_spawn_count=spawn_count,
             rng_state=MTState(key=key, position=position),
             rng_w=w if (flags & _FLAG_HAS_W) else None,
+            kind_name=_KINDS[kind_idx],
+            kind_param=kind_param,
+            kind_threshold=kind_threshold,
         )
 
     # -- RNG reconstruction ----------------------------------------------------

@@ -69,6 +69,32 @@ def test_rng001_clean_inside_rng_and_for_type_annotations(tmp_path):
     assert lint(tmp_path, rules=["RNG001"]) == []
 
 
+def test_rng001_flags_stdlib_draws_in_kind_implementations(tmp_path):
+    """A sample kind drawing acceptance keys outside RandomSource would
+    silently break the deferred<->eager bit-identity contract; the rule
+    catches the draw at the source."""
+    make_tree(tmp_path, {
+        "core/kinds_bad.py": """\
+            import random
+            class SloppyWeightedKind:
+                def draw(self, element):
+                    return (element, random.random())
+        """,
+        # The discipline: one uniform per record, from the shared source.
+        "core/kinds_ok.py": """\
+            class WeightedKind:
+                def draw(self, element, rng):
+                    return (element, rng.random())
+        """,
+    })
+    findings = lint(tmp_path, rules=["RNG001"])
+    assert sorted((f.path, f.line) for f in findings) == [
+        ("core/kinds_bad.py", 1),
+        ("core/kinds_bad.py", 4),
+    ]
+    assert all(f.rule_id == "RNG001" for f in findings)
+
+
 def test_rng001_module_allowlist(tmp_path):
     make_tree(tmp_path, {
         "experiments/entry.py": """\
@@ -231,6 +257,24 @@ def test_flt001_flags_float_literal_equality(tmp_path):
     })
     findings = lint(tmp_path, rules=["FLT001"])
     assert [(f.rule_id, f.line) for f in findings] == [("FLT001", 2), ("FLT001", 3)]
+
+
+def test_flt001_flags_key_literal_equality_in_kinds(tmp_path):
+    """A-ES keys are floats; comparing one to a literal is the classic
+    acceptance-test bug.  Comparing two float *variables* (key against
+    the stale threshold) is the legitimate idiom and stays clean."""
+    make_tree(tmp_path, {
+        "core/kinds_bad.py": """\
+            def degenerate(record):
+                return record[1] == 0.5
+        """,
+        "core/kinds_ok.py": """\
+            def accept(key, threshold):
+                return key < threshold or key == threshold
+        """,
+    })
+    findings = lint(tmp_path, rules=["FLT001"])
+    assert [(f.path, f.line) for f in findings] == [("core/kinds_bad.py", 2)]
 
 
 def test_flt001_clean_for_ints_and_outside_scope(tmp_path):

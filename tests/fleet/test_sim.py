@@ -63,6 +63,43 @@ class TestConfig:
         assert serve.algorithm == CONFIG.algorithm
         assert serve.sample_names() == CONFIG.sample_names()
 
+    def test_kinds_follow_the_global_sample_index(self):
+        config = FleetConfig(algorithm="array", kinds=("weighted", "window"))
+        assert [config.kind_for(i) for i in range(4)] == [
+            "weighted", "window", "weighted", "window",
+        ]
+        assert config.serve_config().kinds == config.kinds
+        assert config.has_non_uniform_kinds()
+        assert not FleetConfig(kinds=("uniform",)).has_non_uniform_kinds()
+
+    def test_non_uniform_kinds_reject_the_model_engine(self):
+        with pytest.raises(ValueError, match="full engine"):
+            FleetConfig(engine="model", algorithm="array", kinds=("window",))
+        # An explicitly uniform mix models fine.
+        FleetConfig(engine="model", kinds=("uniform",))
+
+    def test_non_uniform_kinds_pin_auto_to_full(self):
+        big = FleetConfig(
+            events=AUTO_FULL_MAX_EVENTS + 1, algorithm="array", kinds=("window",)
+        )
+        assert big.resolve_engine() == "full"
+
+    def test_kinds_echoed_only_when_configured(self):
+        plain = run_fleet_simulation(CONFIG)
+        assert "kinds" not in plain.config
+        kinded = run_fleet_simulation(
+            FleetConfig(
+                seed=CONFIG.seed,
+                shards=2,
+                samples=4,
+                events=40,
+                algorithm="array",
+                kinds=("weighted", "window"),
+                engine="full",
+            )
+        )
+        assert kinded.config["kinds"] == ["weighted", "window"]
+
 
 class TestFullEngineReport:
     def test_same_seed_byte_identical(self):

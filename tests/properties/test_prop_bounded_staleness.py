@@ -57,6 +57,57 @@ def test_bounded_queries_never_exceed_bound(seed, algorithm, policy, bound):
         assert bounded
 
 
+#: kind mixes for the all-kinds form of the property; non-uniform kinds
+#: are maintained by the kind-capable algorithms (naive/array) only
+KIND_MIXES = (
+    ("weighted",),
+    ("window",),
+    ("weighted:5", "window"),
+    ("uniform", "weighted", "window"),
+)
+KIND_ALGORITHMS = ("naive", "array")
+
+
+@given(
+    seed=st.integers(0, 2**32),
+    algorithm=st.sampled_from(KIND_ALGORITHMS),
+    policy=st.sampled_from(POLICIES),
+    bound=st.integers(min_value=0, max_value=512),
+    kinds=st.sampled_from(KIND_MIXES),
+)
+@settings(max_examples=40, deadline=None)
+def test_bounded_queries_never_exceed_bound_for_any_kind(
+    seed, algorithm, policy, bound, kinds
+):
+    """The same guarantee with non-uniform kinds in the catalog: answered
+    staleness is the kind's *effective* staleness (a window sample caps
+    it at W), and the read path enforces the bound against that number,
+    so mixed-kind catalogs keep the contract under every kind-capable
+    algorithm and every policy."""
+    report = run_simulation(
+        SimConfig(
+            seed=seed,
+            events=120,
+            samples=3,
+            sample_size=64,
+            algorithm=algorithm,
+            policy=policy,
+            staleness_bound=bound,
+            kinds=kinds,
+        )
+    )
+    bounded = [
+        entry
+        for entry in report.trace
+        if entry["kind"] == "query"
+        and entry["freshness"] == f"bounded_staleness:{bound}"
+    ]
+    for entry in bounded:
+        assert entry["staleness"] <= bound
+    if report.queries_answered >= 20:
+        assert bounded
+
+
 @given(
     seed=st.integers(0, 2**32),
     pending=st.integers(min_value=0, max_value=300),

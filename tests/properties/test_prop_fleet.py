@@ -66,6 +66,37 @@ def test_one_shard_fleet_is_invisible(
 @given(
     seed=st.integers(min_value=0, max_value=2**31 - 1),
     samples=st.integers(min_value=1, max_value=4),
+    events=st.integers(min_value=0, max_value=60),
+    algorithm=st.sampled_from(("array", "naive")),
+    kinds=st.sampled_from(
+        (("weighted",), ("window",), ("weighted:5", "window", "uniform"))
+    ),
+)
+def test_one_shard_fleet_is_invisible_with_kinds(
+    seed, samples, events, algorithm, kinds
+):
+    """Kind assignment follows the *global* sample index, so a 1-shard
+    fleet running mixed kinds is still a serve-sim run wearing a hat."""
+    config = FleetConfig(
+        seed=seed,
+        shards=1,
+        samples=samples,
+        events=events,
+        algorithm=algorithm,
+        kinds=kinds,
+        engine="full",
+    )
+    fleet = run_fleet_simulation(config)
+    serve = run_simulation(config.serve_config())
+    shard = json.dumps(fleet.shards["shard00"], sort_keys=True)
+    plain = json.dumps(serve.to_dict(), sort_keys=True)
+    assert shard == plain
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    samples=st.integers(min_value=1, max_value=4),
     events=st.integers(min_value=1, max_value=50),
 )
 def test_one_shard_fleet_is_invisible_with_admission(seed, samples, events):
